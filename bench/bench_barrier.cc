@@ -1,0 +1,69 @@
+// Figure 8: barrier synchronization cost — 1000 barriers on 2, 4, and 8 nodes.
+//
+// DF uses a tournament barrier with broadcast dissemination [HFM88]: O(p) messages, O(log p)
+// latency. Paper: 3.20 / 5.29 / 8.45 ms per barrier at 2 / 4 / 8 nodes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace dfil;
+  const int barriers = bench::QuickMode(argc, argv) ? 100 : 1000;
+  bench::Header("Figure 8: Barrier synchronization, " + std::to_string(barriers) +
+                " barriers (paper: 1000)");
+
+  const double paper_ms[] = {3.20, 5.29, 8.45};
+  const int node_counts[] = {2, 4, 8};
+  std::printf("%-6s | %14s | %14s | %10s\n", "nodes", "measured (ms)", "paper (ms)", "messages");
+  for (int i = 0; i < 3; ++i) {
+    const int nodes = node_counts[i];
+    core::Cluster cluster(bench::PaperConfig(nodes));
+    core::RunReport r = cluster.Run([&](core::NodeEnv& env) {
+      for (int b = 0; b < barriers; ++b) {
+        env.Barrier();
+      }
+    });
+    DFIL_CHECK(r.completed) << r.deadlock_report;
+    std::printf("%-6d | %14.2f | %14.2f | %10.1f per barrier\n", nodes,
+                ToMilliseconds(r.makespan) / barriers, paper_ms[i],
+                static_cast<double>(r.net.messages_sent) / barriers);
+  }
+  std::printf("(tournament + broadcast: p losers' reports + acks + 1 broadcast = O(p) messages)\n");
+
+  // Extension (the paper's future work: "experiments with different types of barriers for large
+  // numbers of processors"): compare barrier algorithms across node counts.
+  bench::Header("Extension: barrier algorithm comparison (per-barrier latency, ms)");
+  struct Kind {
+    const char* name;
+    core::ClusterConfig::BarrierKind kind;
+  };
+  const Kind kinds[] = {
+      {"tournament+broadcast", core::ClusterConfig::BarrierKind::kTournamentBroadcast},
+      {"dissemination", core::ClusterConfig::BarrierKind::kDissemination},
+      {"central", core::ClusterConfig::BarrierKind::kCentral},
+  };
+  std::printf("%-22s", "nodes:");
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    std::printf(" %8d", nodes);
+  }
+  std::printf("\n");
+  for (const Kind& k : kinds) {
+    std::printf("%-22s", k.name);
+    for (int nodes : {2, 4, 8, 16, 32}) {
+      core::ClusterConfig cfg = bench::PaperConfig(nodes);
+      cfg.barrier = k.kind;
+      core::Cluster cluster(cfg);
+      const int reps = barriers / 4;
+      core::RunReport r = cluster.Run([&](core::NodeEnv& env) {
+        for (int b = 0; b < reps; ++b) {
+          env.Barrier();
+        }
+      });
+      DFIL_CHECK(r.completed) << r.deadlock_report;
+      std::printf(" %8.2f", ToMilliseconds(r.makespan) / reps);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: binary expression tree evaluation, 70x70 matrices, height 7. Sequential: 92.1 s.
+//
+// Expected shape: both CG and DF scale well but are capped by tail-end imbalance near the tree's
+// root (maximum possible speedup 3.85 / 7.06 at 4 / 8 nodes); DF trails CG because its data moves
+// by page faults (request + reply per matrix) instead of two explicit messages.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/exprtree.h"
+
+int main(int argc, char** argv) {
+  using namespace dfil;
+  const bool quick = bench::QuickMode(argc, argv);
+  apps::ExprTreeParams p;
+  p.height = 7;
+  p.matrix_dim = quick ? 24 : 70;
+
+  bench::Header("Figure 7: Binary expression trees, " + std::to_string(p.matrix_dim) + "x" +
+                std::to_string(p.matrix_dim) + " matrices, height 7 (paper: 70x70, seq 92.1 s)");
+
+  apps::AppRun seq = apps::RunExprTreeSeq(p, bench::PaperConfig(1));
+  std::printf("sequential: %.1f s (paper 92.1 s), checksum %.6g\n", seq.seconds(), seq.checksum);
+
+  const double ratio = seq.seconds() / 92.1;
+  const double paper_cg[] = {90.7, 47.9, 25.4, 14.1};
+  const double paper_df[] = {92.2, 54.0, 28.1, 17.5};
+  const int node_counts[] = {1, 2, 4, 8};
+  std::vector<bench::SpeedupRow> rows;
+  for (int i = 0; i < 4; ++i) {
+    const int nodes = node_counts[i];
+    apps::AppRun cg = apps::RunExprTreeCg(p, bench::PaperConfig(nodes));
+    apps::AppRun df = apps::RunExprTreeDf(p, bench::PaperConfig(nodes));
+    DFIL_CHECK(cg.report.completed) << cg.report.deadlock_report;
+    DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
+    DFIL_CHECK_EQ(cg.checksum, seq.checksum);
+    DFIL_CHECK_EQ(df.checksum, seq.checksum);
+    rows.push_back(bench::SpeedupRow{nodes, cg.seconds(), df.seconds(), paper_cg[i] * ratio,
+                                     paper_df[i] * ratio, seq.seconds(), 92.1 * ratio});
+  }
+  bench::PrintSpeedupTable(rows);
+  std::printf("paper's analytic speedup cap for height 7: 3.85 at 4 nodes, 7.06 at 8 nodes\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension benches (features beyond the paper's evaluation):
+//  * recursive FFT — a balanced fork/join application the paper cites (§2.3) but does not measure;
+//  * adaptive pool assignment — the paper's future-work item, compared against manual pools.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/fft.h"
+#include "src/apps/sor.h"
+#include "src/apps/jacobi.h"
+
+int main(int argc, char** argv) {
+  using namespace dfil;
+  const bool quick = bench::QuickMode(argc, argv);
+
+  bench::Header("Extension 1: recursive FFT (fork/join over migratory DSM)");
+  {
+    apps::FftParams p;
+    p.log2_n = quick ? 12 : 14;
+    apps::AppRun seq = apps::RunFftSeq(p, bench::PaperConfig(1));
+    std::printf("%d-point FFT, sequential: %.2f s\n", 1 << p.log2_n, seq.seconds());
+    std::printf("%-6s | %8s %8s\n", "nodes", "DF(s)", "speedup");
+    for (int nodes : {1, 2, 4, 8}) {
+      apps::AppRun df = apps::RunFftDf(p, bench::PaperConfig(nodes));
+      DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
+      DFIL_CHECK_EQ(df.checksum, seq.checksum);
+      std::printf("%-6d | %8.2f %8.2f\n", nodes, df.seconds(), seq.seconds() / df.seconds());
+    }
+    std::printf("(honest negative result: on 10 Mb/s Ethernet the transform is bandwidth-bound —\n"
+                " every level moves the whole array through the DSM, so distribution LOSES. This\n"
+                " is the paper's caveat quantified: fine-grain parallelism pays only when there is\n"
+                " \"a reasonable amount of computation per node\" relative to paging traffic.)\n");
+  }
+
+  bench::Header("Extension 2: adaptive pool assignment vs manual pools (Jacobi DF, 8 nodes)");
+  {
+    apps::JacobiParams p;
+    p.n = 256;
+    p.iterations = quick ? 30 : 120;
+    apps::AppRun baseline;
+    for (int pools : {1, 3, -1}) {
+      apps::JacobiParams mp = p;
+      mp.pools = pools;
+      core::ClusterConfig cfg = bench::PaperConfig(8);
+      cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+      apps::AppRun run = apps::RunJacobiDf(mp, cfg);
+      DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
+      if (pools == 3) {
+        baseline = run;
+      }
+      std::printf("%-28s %8.2f s\n",
+                  pools < 0 ? "adaptive (auto-clustered)" :
+                  pools == 1 ? "manual, 1 pool (no overlap)" : "manual, 3 pools (paper)",
+                  run.seconds());
+      if (pools < 0) {
+        DFIL_CHECK_EQ(run.checksum, baseline.checksum);
+      }
+    }
+    std::printf("(adaptive clustering should land near the manual 3-pool time after its one\n"
+                " profiling sweep — no hand pool assignment required)\n");
+  }
+
+  bench::Header("Extension 3: red-black SOR (two sync points per iteration)");
+  {
+    apps::SorParams p;
+    p.n = 128;
+    p.iterations = quick ? 20 : 100;
+    apps::AppRun seq = apps::RunSorSeq(p, bench::PaperConfig(1));
+    std::printf("%dx%d, %d iterations, sequential: %.2f s (final residual %.3g)\n", p.n, p.n,
+                p.iterations, seq.seconds(), seq.checksum);
+    std::printf("%-6s | %8s %8s\n", "nodes", "DF(s)", "speedup");
+    for (int nodes : {1, 2, 4, 8}) {
+      core::ClusterConfig cfg = bench::PaperConfig(nodes);
+      cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+      apps::AppRun df = apps::RunSorDf(p, cfg);
+      DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
+      DFIL_CHECK_EQ(df.checksum, seq.checksum);
+      std::printf("%-6d | %8.2f %8.2f\n", nodes, df.seconds(), seq.seconds() / df.seconds());
+    }
+    std::printf("(twice the synchronization and edge traffic of Jacobi per iteration: speedup\n"
+                " saturates earlier — the overlap machinery works harder for less)\n");
+  }
+  return 0;
+}

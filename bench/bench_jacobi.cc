@@ -1,0 +1,57 @@
+// Figure 5: Jacobi iteration, 256x256, eps = 1e-3, 360 iterations. Sequential paper time: 215 s.
+//
+// Expected shape: both programs scale well; DF (implicit-invalidate, 3 pools) stays within ~10%
+// of CG because the edge-page fetches overlap with the interior pool's computation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/jacobi.h"
+
+int main(int argc, char** argv) {
+  using namespace dfil;
+  const bool quick = bench::QuickMode(argc, argv);
+  apps::JacobiParams p;
+  p.n = 256;
+  p.iterations = quick ? 60 : 360;
+  p.pools = 3;
+
+  bench::Header("Figure 5: Jacobi iteration, 256x256, " + std::to_string(p.iterations) +
+                " iterations (paper: 360 iterations, sequential 215 s)");
+
+  apps::AppRun seq = apps::RunJacobiSeq(p, bench::PaperConfig(1));
+  std::printf("sequential: %.1f s (paper 215 s), final residual %.6g\n", seq.seconds(),
+              seq.checksum);
+
+  const double scale = p.iterations / 360.0;  // paper numbers prorated in quick mode
+  const double paper_cg[] = {215, 98.1, 53.1, 35.8};
+  const double paper_df[] = {212, 102, 59.8, 38.5};
+  const int node_counts[] = {1, 2, 4, 8};
+  std::vector<bench::SpeedupRow> rows;
+  for (int i = 0; i < 4; ++i) {
+    const int nodes = node_counts[i];
+    core::ClusterConfig cfg = bench::PaperConfig(nodes);
+    cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+    apps::AppRun cg = apps::RunJacobiCg(p, bench::PaperConfig(nodes));
+    apps::AppRun df = apps::RunJacobiDf(p, cfg);
+    DFIL_CHECK(cg.report.completed) << cg.report.deadlock_report;
+    DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
+    DFIL_CHECK_EQ(df.checksum, seq.checksum);
+    rows.push_back(bench::SpeedupRow{nodes, cg.seconds(), df.seconds(), paper_cg[i] * scale,
+                                     paper_df[i] * scale, seq.seconds(), 215.0 * scale});
+    if (nodes == 8) {
+      uint64_t impl = 0, inv_msgs = 0, rf = 0;
+      for (const auto& nr : df.report.nodes) {
+        impl += nr.dsm.implicit_invalidations;
+        inv_msgs += nr.dsm.invalidations_sent;
+        rf += nr.dsm.read_faults;
+      }
+      std::printf("notes (8 nodes, DF): implicit invalidations %llu, invalidation MESSAGES %llu "
+                  "(implicit-invalidate sends none), read faults %llu\n",
+                  static_cast<unsigned long long>(impl),
+                  static_cast<unsigned long long>(inv_msgs),
+                  static_cast<unsigned long long>(rf));
+    }
+  }
+  bench::PrintSpeedupTable(rows);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figures 11 and 12: Jacobi ablations of the two performance enhancements.
+//
+//  * Figure 11 — write-invalidate instead of implicit-invalidate: invalidation messages return,
+//    costing ~3% / 6% at 4 / 8 nodes in the paper.
+//  * Figure 12 — a single pool instead of three: no communication/computation overlap, costing
+//    ~9% / 21% at 4 / 8 nodes (comparing Figure 12 with Figure 5).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/jacobi.h"
+
+int main(int argc, char** argv) {
+  using namespace dfil;
+  const bool quick = bench::QuickMode(argc, argv);
+  apps::JacobiParams base_params;
+  base_params.n = 256;
+  base_params.iterations = quick ? 60 : 360;
+
+  bench::Header("Figures 11 & 12: Jacobi PCP and pool ablations, 256x256, " +
+                std::to_string(base_params.iterations) + " iterations");
+
+  struct Variant {
+    const char* name;
+    dsm::Pcp pcp;
+    int pools;
+    double paper[4];  // 1,2,4,8 nodes
+  };
+  const Variant variants[] = {
+      {"implicit-invalidate, 3 pools (Fig 5) ", dsm::Pcp::kImplicitInvalidate, 3,
+       {212, 102, 59.8, 38.5}},
+      {"write-invalidate,    3 pools (Fig 11)", dsm::Pcp::kWriteInvalidate, 3,
+       {212, 103, 61.4, 40.9}},
+      {"implicit-invalidate, 1 pool  (Fig 12)", dsm::Pcp::kImplicitInvalidate, 1,
+       {212, 104, 65.5, 48.5}},
+  };
+  const int node_counts[] = {1, 2, 4, 8};
+  const double scale = base_params.iterations / 360.0;
+
+  double fig5[4] = {0, 0, 0, 0};
+  double fig11[4] = {0, 0, 0, 0};
+  double fig12[4] = {0, 0, 0, 0};
+  std::printf("%-40s | %8s %8s %8s %8s\n", "variant (measured, s)", "1", "2", "4", "8");
+  for (const Variant& v : variants) {
+    apps::JacobiParams p = base_params;
+    p.pools = v.pools;
+    std::printf("%-40s |", v.name);
+    for (int i = 0; i < 4; ++i) {
+      core::ClusterConfig cfg = bench::PaperConfig(node_counts[i]);
+      cfg.dsm.pcp = v.pcp;
+      apps::AppRun run = apps::RunJacobiDf(p, cfg);
+      DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
+      std::printf(" %8.1f", run.seconds());
+      if (v.pools == 3 && v.pcp == dsm::Pcp::kImplicitInvalidate) {
+        fig5[i] = run.seconds();
+      } else if (v.pcp == dsm::Pcp::kWriteInvalidate) {
+        fig11[i] = run.seconds();
+      } else {
+        fig12[i] = run.seconds();
+      }
+    }
+    std::printf("   paper:");
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %6.1f", v.paper[i] * scale);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nimplicit-invalidate gain over write-invalidate:   4 nodes %+5.1f%%  8 nodes "
+              "%+5.1f%%   (paper: 3%% and 6%%)\n",
+              100.0 * (fig11[2] - fig5[2]) / fig11[2], 100.0 * (fig11[3] - fig5[3]) / fig11[3]);
+  std::printf("overlap gain (3 pools over 1 pool):               4 nodes %+5.1f%%  8 nodes "
+              "%+5.1f%%   (paper: 9%% and 21%%)\n",
+              100.0 * (fig12[2] - fig5[2]) / fig12[2], 100.0 * (fig12[3] - fig5[3]) / fig12[3]);
+  return 0;
+}

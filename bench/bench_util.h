@@ -1,0 +1,63 @@
+// Shared table-printing helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's evaluation section and
+// prints the measured numbers side by side with the published ones. Absolute agreement is not the
+// goal (the substrate is a calibrated simulator, DESIGN.md §2); the shape — who wins, by what
+// factor, where the crossovers fall — is.
+#ifndef DFIL_BENCH_BENCH_UTIL_H_
+#define DFIL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+
+namespace dfil::bench {
+
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================================\n");
+}
+
+// One row of a Figure 4..7-style table.
+struct SpeedupRow {
+  int nodes;
+  double cg_time, df_time;          // measured (seconds, virtual)
+  double paper_cg, paper_df;        // published times
+  double seq_time;                  // measured sequential baseline
+  double paper_seq;
+};
+
+inline void PrintSpeedupTable(const std::vector<SpeedupRow>& rows) {
+  std::printf("%-6s | %9s %8s | %9s %8s || %9s %8s | %9s %8s\n", "nodes", "CG(s)", "spdup",
+              "DF(s)", "spdup", "paperCG", "spdup", "paperDF", "spdup");
+  std::printf("-------+--------------------+--------------------++--------------------+-------------------\n");
+  for (const SpeedupRow& r : rows) {
+    std::printf("%-6d | %9.1f %8.2f | %9.1f %8.2f || %9.1f %8.2f | %9.1f %8.2f\n", r.nodes,
+                r.cg_time, r.seq_time / r.cg_time, r.df_time, r.seq_time / r.df_time, r.paper_cg,
+                r.paper_seq / r.paper_cg, r.paper_df, r.paper_seq / r.paper_df);
+  }
+}
+
+inline core::ClusterConfig PaperConfig(int nodes) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.costs = sim::CostModel::SunIpcEthernet();
+  cfg.network = core::NetworkKind::kSharedEthernet;
+  return cfg;
+}
+
+}  // namespace dfil::bench
+
+#endif  // DFIL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Visualizing communication/computation overlap.
+//
+// Runs a small Jacobi-style workload with tracing enabled and writes a Chrome trace-event file
+// (open chrome://tracing or https://ui.perfetto.dev and load /tmp/dfil_trace.json). Each node is
+// a process row; each server thread a track. The paper's §2.2 mechanism is directly visible:
+// while one server thread sits inside a "fault pXX" span, another thread's "pool N" span runs —
+// that concurrency in virtual time is the masked page-fetch latency.
+#include <cstdio>
+#include <fstream>
+
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/core/parallel.h"
+
+using namespace dfil;
+
+namespace {
+
+constexpr int kN = 64;
+
+struct State {
+  core::GlobalArray2D<double> grid[2];
+  int src = 0;
+};
+
+void Relax(core::NodeEnv& env, int64_t i, int64_t j, int64_t) {
+  auto* st = static_cast<State*>(env.user_ctx);
+  if (i == 0 || j == 0 || i == kN - 1 || j == kN - 1) {
+    return;
+  }
+  const auto& u = st->grid[st->src];
+  const auto& v = st->grid[1 - st->src];
+  v.Write(env, i, j,
+          0.25 * (u.Read(env, i - 1, j) + u.Read(env, i + 1, j) + u.Read(env, i, j - 1) +
+                  u.Read(env, i, j + 1)));
+  env.ChargeWork(env.runtime().costs().jacobi_point);
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.trace_enabled = true;
+  cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  core::Cluster cluster(cfg);
+  auto g0 = core::GlobalArray2D<double>::Alloc(cluster.layout(), kN, kN, false, "g0");
+  auto g1 = core::GlobalArray2D<double>::Alloc(cluster.layout(), kN, kN, false, "g1");
+
+  std::vector<State> states(cfg.nodes);
+  core::RunReport report = cluster.Run([&](core::NodeEnv& env) {
+    State& st = states[env.node()];
+    st.grid[0] = g0;
+    st.grid[1] = g1;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        for (int j = 0; j < kN; ++j) {
+          g0.Write(env, i, j, i == 0 ? 100.0 : 0.0);
+          g1.Write(env, i, j, i == 0 ? 100.0 : 0.0);
+        }
+      }
+    }
+    env.Barrier();
+    // Adaptive pools: after the profiling sweep the tracer shows the per-page pools frontloaded
+    // ahead of the quiet pool on every iteration.
+    core::ParallelIterate2D(env, kN, kN, &Relax, [&](int iter) {
+      env.Barrier();
+      st.src = 1 - st.src;
+      return iter + 1 < 12;
+    });
+  });
+
+  const char* path = "/tmp/dfil_trace.json";
+  std::ofstream out(path);
+  report.trace->WriteChromeTrace(out);
+  std::printf("run complete: %.3f virtual seconds, %zu trace events -> %s\n", report.seconds(),
+              report.trace->event_count(), path);
+  std::printf("open chrome://tracing (or ui.perfetto.dev) and load the file to see pool spans\n"
+              "overlapping page-fault spans — the paper's masked communication latency.\n");
+  return report.completed ? 0 : 1;
+}

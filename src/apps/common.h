@@ -1,0 +1,130 @@
+// Shared helpers for the four evaluation applications (paper §4).
+//
+// Every application comes in three variants, mirroring the paper's methodology:
+//  * sequential  — a distinct single-node program (not a parallel program on one node);
+//  * coarse-grain (CG) — one heavyweight process per node, explicit message passing over raw
+//    (unreliable) datagrams, hand-coded reductions;
+//  * DF          — filaments over the DSM.
+// All variants run the same computation kernels and are validated against each other.
+#ifndef DFIL_APPS_COMMON_H_
+#define DFIL_APPS_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/core/node_env.h"
+
+namespace dfil::apps {
+
+// Contiguous strip [lo, hi) of `total` rows assigned to `node` out of `nodes`.
+struct Strip {
+  int lo;
+  int hi;
+  int size() const { return hi - lo; }
+};
+inline Strip StripOf(int total, int node, int nodes) {
+  const int base = total / nodes;
+  const int extra = total % nodes;
+  const int lo = node * base + (node < extra ? node : extra);
+  const int hi = lo + base + (node < extra ? 1 : 0);
+  return Strip{lo, hi};
+}
+
+// Deterministic synthetic matrix entries (the paper does not publish its inputs).
+inline double MatrixEntryA(int64_t i, int64_t j) {
+  return static_cast<double>((i * 7 + j * 13) % 21 - 10) * 0.25;
+}
+inline double MatrixEntryB(int64_t i, int64_t j) {
+  return static_cast<double>((i * 11 + j * 5) % 17 - 8) * 0.5;
+}
+
+// --- Chunked bulk transfer over the raw channels (UDP keeps datagrams small) -------------------
+
+inline constexpr size_t kBulkChunkBytes = 32 * 1024;
+
+inline void SendBulk(core::NodeEnv& env, NodeId dst, uint32_t tag,
+                     std::span<const std::byte> bytes) {
+  size_t off = 0;
+  do {
+    const size_t n = std::min(kBulkChunkBytes, bytes.size() - off);
+    env.SendData(dst, tag, bytes.subspan(off, n));
+    off += n;
+  } while (off < bytes.size());
+}
+
+inline void RecvBulk(core::NodeEnv& env, NodeId src, uint32_t tag, std::span<std::byte> out) {
+  size_t off = 0;
+  do {
+    std::vector<std::byte> chunk = env.RecvData(src, tag);
+    DFIL_CHECK_LE(off + chunk.size(), out.size());
+    std::memcpy(out.data() + off, chunk.data(), chunk.size());
+    off += chunk.size();
+  } while (off < out.size());
+}
+
+inline void BroadcastBulk(core::NodeEnv& env, uint32_t tag, std::span<const std::byte> bytes) {
+  size_t off = 0;
+  do {
+    const size_t n = std::min(kBulkChunkBytes, bytes.size() - off);
+    env.BroadcastData(tag, bytes.subspan(off, n));
+    off += n;
+  } while (off < bytes.size());
+}
+
+template <typename T>
+std::span<const std::byte> AsBytes(const std::vector<T>& v) {
+  return std::span<const std::byte>(reinterpret_cast<const std::byte*>(v.data()),
+                                    v.size() * sizeof(T));
+}
+template <typename T>
+std::span<std::byte> AsWritableBytes(std::vector<T>& v) {
+  return std::span<std::byte>(reinterpret_cast<std::byte*>(v.data()), v.size() * sizeof(T));
+}
+
+// --- Hand-coded CG reductions (what the paper's message-passing programs do themselves) --------
+
+enum class CgOp { kSum, kMax };
+
+// Tournament all-reduce over explicit messages; tag space `tag_base + round` must be unused.
+inline double CgAllReduce(core::NodeEnv& env, double value, CgOp op, uint32_t tag_base) {
+  const int p = env.nodes();
+  const NodeId r = env.node();
+  double accum = value;
+  if (p == 1) {
+    return accum;
+  }
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int bit = 1 << k;
+    if ((r & bit) != 0) {
+      env.SendValue<double>(r - bit, tag_base + static_cast<uint32_t>(k), accum);
+      // Await dissemination from the champion.
+      return env.RecvValue<double>(0, tag_base + 100);
+    }
+    if (r + bit < p) {
+      const double other = env.RecvValue<double>(r + bit, tag_base + static_cast<uint32_t>(k));
+      accum = op == CgOp::kSum ? accum + other : (other > accum ? other : accum);
+    }
+  }
+  // Champion: disseminate with one broadcast datagram.
+  env.BroadcastData(tag_base + 100,
+                    std::span<const std::byte>(reinterpret_cast<const std::byte*>(&accum),
+                                               sizeof(accum)));
+  return accum;
+}
+
+// --- Result containers shared by all apps -------------------------------------------------------
+
+struct AppRun {
+  core::RunReport report;
+  double checksum = 0;              // validation scalar (app-specific)
+  std::vector<double> output;       // full result for exact cross-variant comparison
+  double seconds() const { return report.seconds(); }
+};
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_COMMON_H_

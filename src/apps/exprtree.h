@@ -1,0 +1,30 @@
+// Binary expression tree evaluation (paper §4.4, Figure 7; application from Chores [EZ93]).
+//
+// The leaves are 70x70 matrices, interior operators are matrix multiplication, and the balanced
+// tree of height 7 is traversed in parallel (the multiplications themselves run sequentially).
+// The DF program uses fork/join filaments over DSM with the migratory PCP, and — unlike adaptive
+// quadrature — stealing off: the workload is balanced, so for this application the cost of
+// acquiring pages outweighs the gain of load balancing. The maximum possible speedup is limited
+// by tail-end imbalance near the root (3.85 / 7.06 at 4 / 8 nodes for height 7).
+#ifndef DFIL_APPS_EXPRTREE_H_
+#define DFIL_APPS_EXPRTREE_H_
+
+#include "src/apps/common.h"
+#include "src/core/config.h"
+
+namespace dfil::apps {
+
+struct ExprTreeParams {
+  int height = 7;        // 2^height leaf matrices
+  int matrix_dim = 70;   // leaves are matrix_dim x matrix_dim
+};
+
+AppRun RunExprTreeSeq(const ExprTreeParams& p, const core::ClusterConfig& base);
+// Two-phase CG program: even subtree split, then a combining tree with 2(p-1) matrix transfers.
+// Supports power-of-two node counts only (the combining tree requires it).
+AppRun RunExprTreeCg(const ExprTreeParams& p, const core::ClusterConfig& base);
+AppRun RunExprTreeDf(const ExprTreeParams& p, const core::ClusterConfig& base);
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_EXPRTREE_H_

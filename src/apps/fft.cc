@@ -1,0 +1,205 @@
+#include "src/apps/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "src/common/check.h"
+
+namespace dfil::apps {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::FjArgs;
+using core::FjHandle;
+using core::FjResult;
+using core::NodeEnv;
+using Complex = std::complex<double>;
+
+// Deterministic input signal.
+Complex Signal(int64_t i) {
+  return Complex(std::sin(0.05 * static_cast<double>(i)),
+                 std::cos(0.11 * static_cast<double>(i)) * 0.5);
+}
+
+// Virtual cost of one butterfly (complex multiply-add pair).
+constexpr SimTime kButterflyCost = Microseconds(0.9);
+// Virtual cost of moving one element during the even/odd split.
+constexpr SimTime kSplitCost = Microseconds(0.15);
+
+struct FftState {
+  GlobalAddr data = 0;     // complex array, n entries
+  GlobalAddr scratch = 0;  // same size
+  int cutoff = 256;
+};
+
+// Local (in-buffer) recursive FFT on `n` contiguous complex values; charges virtual work.
+void FftLocal(NodeEnv& env, Complex* buf, Complex* tmp, int64_t n) {
+  if (n == 1) {
+    return;
+  }
+  const int64_t half = n / 2;
+  for (int64_t i = 0; i < half; ++i) {
+    tmp[i] = buf[2 * i];
+    tmp[half + i] = buf[2 * i + 1];
+  }
+  env.ChargeWork(kSplitCost * n);
+  FftLocal(env, tmp, buf, half);
+  FftLocal(env, tmp + half, buf, half);
+  for (int64_t k = 0; k < half; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    const Complex w(std::cos(angle), std::sin(angle));
+    const Complex e = tmp[k];
+    const Complex o = w * tmp[half + k];
+    buf[k] = e + o;
+    buf[half + k] = e - o;
+  }
+  env.ChargeWork(kButterflyCost * half);
+}
+
+// Fork/join filament: transform data[off, off+n) using scratch[off, off+n).
+// args.i = {offset, n}.
+FjResult FftTask(NodeEnv& env, const FjArgs& a) {
+  auto* st = static_cast<FftState*>(env.user_ctx);
+  const int64_t off = a.i[0];
+  const int64_t n = a.i[1];
+  const size_t bytes = static_cast<size_t>(n) * sizeof(Complex);
+  const GlobalAddr data = st->data + static_cast<GlobalAddr>(off) * sizeof(Complex);
+  const GlobalAddr scratch = st->scratch + static_cast<GlobalAddr>(off) * sizeof(Complex);
+
+  if (n <= st->cutoff) {
+    auto* buf = reinterpret_cast<Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kWrite));
+    auto* tmp =
+        reinterpret_cast<Complex*>(env.AccessBytes(scratch, bytes, dsm::AccessMode::kWrite));
+    FftLocal(env, buf, tmp, n);
+    return FjResult{};
+  }
+
+  const int64_t half = n / 2;
+  {
+    // Split evens/odds into the scratch halves (pages migrate here).
+    auto* buf = reinterpret_cast<Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kRead));
+    auto* tmp =
+        reinterpret_cast<Complex*>(env.AccessBytes(scratch, bytes, dsm::AccessMode::kWrite));
+    for (int64_t i = 0; i < half; ++i) {
+      tmp[i] = buf[2 * i];
+      tmp[half + i] = buf[2 * i + 1];
+    }
+    env.ChargeWork(kSplitCost * n);
+    auto* bufw = reinterpret_cast<Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kWrite));
+    for (int64_t i = 0; i < n; ++i) {
+      bufw[i] = tmp[i];
+    }
+    env.ChargeWork(kSplitCost * n);
+  }
+
+  FjArgs left;
+  left.i[0] = off;
+  left.i[1] = half;
+  FjArgs right;
+  right.i[0] = off + half;
+  right.i[1] = half;
+  FjHandle hl = env.Fork(&FftTask, left);
+  FjHandle hr = env.Fork(&FftTask, right);
+  env.Join(hl);
+  env.Join(hr);
+
+  // Combine: data holds [FFT(evens), FFT(odds)] — butterfly into scratch, copy back.
+  auto* buf = reinterpret_cast<Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kWrite));
+  auto* tmp = reinterpret_cast<Complex*>(env.AccessBytes(scratch, bytes, dsm::AccessMode::kWrite));
+  for (int64_t k = 0; k < half; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    const Complex w(std::cos(angle), std::sin(angle));
+    const Complex e = buf[k];
+    const Complex o = w * buf[half + k];
+    tmp[k] = e + o;
+    tmp[half + k] = e - o;
+  }
+  env.ChargeWork(kButterflyCost * half);
+  for (int64_t i = 0; i < n; ++i) {
+    buf[i] = tmp[i];
+  }
+  env.ChargeWork(kSplitCost * n);
+  return FjResult{};
+}
+
+std::vector<double> Flatten(const Complex* data, int64_t n) {
+  std::vector<double> out;
+  out.reserve(2 * n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(data[i].real());
+    out.push_back(data[i].imag());
+  }
+  return out;
+}
+
+}  // namespace
+
+AppRun RunFftSeq(const FftParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  const int64_t n = int64_t{1} << p.log2_n;
+  AppRun run;
+  run.report = cluster.Run([&](NodeEnv& env) {
+    std::vector<Complex> buf(n);
+    std::vector<Complex> tmp(n);
+    for (int64_t i = 0; i < n; ++i) {
+      buf[i] = Signal(i);
+    }
+    FftLocal(env, buf.data(), tmp.data(), n);
+    run.output = Flatten(buf.data(), n);
+  });
+  for (double x : run.output) {
+    run.checksum += x;
+  }
+  return run;
+}
+
+AppRun RunFftDf(const FftParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  cfg.dsm.pcp = dsm::Pcp::kMigratory;
+  cfg.wake_at_front = true;
+  Cluster cluster(cfg);
+  const int64_t n = int64_t{1} << p.log2_n;
+  const size_t bytes = static_cast<size_t>(n) * sizeof(Complex);
+  const GlobalAddr data = cluster.layout().AllocPadded(bytes, "fft_data");
+  const GlobalAddr scratch = cluster.layout().AllocPadded(bytes, "fft_scratch");
+
+  AppRun run;
+  std::vector<FftState> states(cfg.nodes);
+  run.report = cluster.Run([&](NodeEnv& env) {
+    FftState& st = states[env.node()];
+    st.data = data;
+    st.scratch = scratch;
+    st.cutoff = p.sequential_cutoff;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      auto* buf =
+          reinterpret_cast<Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kWrite));
+      for (int64_t i = 0; i < n; ++i) {
+        buf[i] = Signal(i);
+      }
+      env.ChargeWork(kSplitCost * n);
+    }
+    env.Barrier();
+
+    FjArgs root;
+    root.i[0] = 0;
+    root.i[1] = n;
+    env.RunForkJoin(&FftTask, root);
+
+    if (env.node() == 0) {
+      const auto* buf =
+          reinterpret_cast<const Complex*>(env.AccessBytes(data, bytes, dsm::AccessMode::kRead));
+      run.output = Flatten(buf, n);
+    }
+  });
+  for (double x : run.output) {
+    run.checksum += x;
+  }
+  return run;
+}
+
+}  // namespace dfil::apps

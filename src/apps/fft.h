@@ -1,0 +1,26 @@
+// Recursive FFT — an extension application (paper §2.3 lists recursive FFT among the balanced
+// fork/join workloads for which dynamic load balancing does not pay; it is not part of the
+// paper's evaluation tables).
+//
+// Radix-2 decimation-in-time over a complex array in DSM: each fork/join filament splits its
+// segment into even/odd halves (through a scratch array), forks both halves, and combines with
+// twiddle factors. Work is perfectly balanced, so the interesting ablation is stealing on/off.
+#ifndef DFIL_APPS_FFT_H_
+#define DFIL_APPS_FFT_H_
+
+#include "src/apps/common.h"
+#include "src/core/config.h"
+
+namespace dfil::apps {
+
+struct FftParams {
+  int log2_n = 14;          // 16384-point transform
+  int sequential_cutoff = 256;  // segments at or below this size transform locally
+};
+
+AppRun RunFftSeq(const FftParams& p, const core::ClusterConfig& base);
+AppRun RunFftDf(const FftParams& p, const core::ClusterConfig& base);
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_FFT_H_

@@ -1,0 +1,27 @@
+// Matrix multiplication C = A x B (paper §4.1, Figure 4).
+//
+// Size 512x512 in the paper: each matrix is exactly 512 four-KB pages (one row per page). The DF
+// program uses one run-to-completion filament per point of C and the write-invalidate PCP; the
+// master node (0) initializes A and B, so the p-1 slaves generate O(p n^2) page requests — 4032
+// on 8 nodes — which saturates the shared Ethernet and is why DF's speedup drops off at 8 nodes.
+// The CG program distributes B by broadcast and A strips point-to-point up front.
+#ifndef DFIL_APPS_MATMUL_H_
+#define DFIL_APPS_MATMUL_H_
+
+#include "src/apps/common.h"
+#include "src/core/config.h"
+
+namespace dfil::apps {
+
+struct MatmulParams {
+  int n = 512;
+  int pools_per_node = 4;  // DF: row-block pools, so a fault overlaps with other blocks
+};
+
+AppRun RunMatmulSeq(const MatmulParams& p, const core::ClusterConfig& base);
+AppRun RunMatmulCg(const MatmulParams& p, const core::ClusterConfig& base);
+AppRun RunMatmulDf(const MatmulParams& p, const core::ClusterConfig& base);
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_MATMUL_H_

@@ -1,0 +1,314 @@
+#include "src/apps/quadrature.h"
+
+#include <cmath>
+#include <deque>
+
+#include "src/common/check.h"
+
+namespace dfil::apps {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::FjArgs;
+using core::FjHandle;
+using core::FjResult;
+using core::NodeEnv;
+
+// Two sharp bumps near the interval ends over a smooth background: the left one dominates, so
+// equal static subintervals suffer the paper's severe load imbalance while the extremes hold most
+// of the work.
+constexpr double kBump1Center = 1.2, kBump1Height = 1200.0, kBump1Width = 0.05;
+constexpr double kBump2Center = 22.8, kBump2Height = 320.0, kBump2Width = 0.05;
+
+double Bump(double x, double c, double h, double w) {
+  const double t = (x - c) / w;
+  return h / (1.0 + t * t);
+}
+
+struct QuadState {
+  double tolerance = 0;
+  double min_width = 1e-10;
+  int64_t evals = 0;  // host-side counter (diagnostics)
+};
+
+double Eval(NodeEnv& env, QuadState* st, double x) {
+  st->evals++;
+  env.ChargeWork(env.runtime().costs().quad_feval);
+  return QuadF(x);
+}
+
+// One adaptive bisection step; returns the accepted trapezoid value or recurses.
+double QuadRecurse(NodeEnv& env, QuadState* st, double a, double b, double fa, double fb) {
+  const double m = 0.5 * (a + b);
+  const double fm = Eval(env, st, m);
+  const double whole = 0.5 * (fa + fb) * (b - a);
+  const double halves = 0.5 * (fa + fm) * (m - a) + 0.5 * (fm + fb) * (b - m);
+  if (std::fabs(whole - halves) <= st->tolerance * (b - a) || (b - a) < st->min_width) {
+    return halves;
+  }
+  return QuadRecurse(env, st, a, m, fa, fm) + QuadRecurse(env, st, m, b, fm, fb);
+}
+
+// Fork/join filament: identical association as the sequential recursion, so the DF result matches
+// the sequential value bit-for-bit.
+FjResult QuadTask(NodeEnv& env, const FjArgs& args) {
+  auto* st = static_cast<QuadState*>(env.user_ctx);
+  const double a = args.d[0], b = args.d[1], fa = args.d[2], fb = args.d[3];
+  const double m = 0.5 * (a + b);
+  const double fm = Eval(env, st, m);
+  const double whole = 0.5 * (fa + fb) * (b - a);
+  const double halves = 0.5 * (fa + fm) * (m - a) + 0.5 * (fm + fb) * (b - m);
+  if (std::fabs(whole - halves) <= st->tolerance * (b - a) || (b - a) < st->min_width) {
+    return FjResult{halves, 0};
+  }
+  FjArgs left;
+  left.d[0] = a;
+  left.d[1] = m;
+  left.d[2] = fa;
+  left.d[3] = fm;
+  FjArgs right;
+  right.d[0] = m;
+  right.d[1] = b;
+  right.d[2] = fm;
+  right.d[3] = fb;
+  FjHandle hl = env.Fork(&QuadTask, left);
+  FjHandle hr = env.Fork(&QuadTask, right);
+  const FjResult rl = env.Join(hl);
+  const FjResult rr = env.Join(hr);
+  return FjResult{rl.d + rr.d, 0};
+}
+
+}  // namespace
+
+double QuadF(double x) {
+  return std::cos(x) + 2.0 + Bump(x, kBump1Center, kBump1Height, kBump1Width) +
+         Bump(x, kBump2Center, kBump2Height, kBump2Width);
+}
+
+AppRun RunQuadratureSeq(const QuadratureParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  AppRun run;
+  run.report = cluster.Run([&](NodeEnv& env) {
+    QuadState st;
+    st.tolerance = p.tolerance;
+    env.user_ctx = &st;
+    const double fa = Eval(env, &st, p.a);
+    const double fb = Eval(env, &st, p.b);
+    run.checksum = QuadRecurse(env, &st, p.a, p.b, fa, fb);
+    run.output = {run.checksum, static_cast<double>(st.evals)};
+  });
+  return run;
+}
+
+AppRun RunQuadratureCgStatic(const QuadratureParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  Cluster cluster(cfg);
+  AppRun run;
+  std::vector<double> evals(cfg.nodes, 0.0);
+  double total = 0;
+  run.report = cluster.Run([&](NodeEnv& env) {
+    QuadState st;
+    st.tolerance = p.tolerance;
+    env.user_ctx = &st;
+    // Equal-width subinterval per node (the paper's first CG program).
+    const double width = (p.b - p.a) / env.nodes();
+    const double a = p.a + env.node() * width;
+    const double b = env.node() == env.nodes() - 1 ? p.b : a + width;
+    const double fa = Eval(env, &st, a);
+    const double fb = Eval(env, &st, b);
+    const double local = QuadRecurse(env, &st, a, b, fa, fb);
+    const double sum = CgAllReduce(env, local, CgOp::kSum, 700);
+    evals[env.node()] = static_cast<double>(st.evals);
+    if (env.node() == 0) {
+      total = sum;
+    }
+  });
+  run.checksum = total;
+  run.output = evals;
+  return run;
+}
+
+AppRun RunQuadratureCgBag(const QuadratureParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  Cluster cluster(cfg);
+  AppRun run;
+  double total = 0;
+
+  struct BagTask {
+    double a, b, fa, fb;
+  };
+  // Tags: 60 worker->master (request/completion), 61 master->worker (task/terminate),
+  //       62 worker->master final partial sum.
+  struct ReqMsg {
+    uint8_t completed;     // previous task finished
+    uint8_t npush;         // subdivided halves pushed back to the bag
+    BagTask push[2];
+  };
+  struct TaskMsg {
+    uint8_t kind;  // 0 = task, 1 = terminate
+    BagTask task;
+  };
+
+  run.report = cluster.Run([&](NodeEnv& env) {
+    QuadState st;
+    st.tolerance = p.tolerance;
+    env.user_ctx = &st;
+    const double bag_min_width = (p.b - p.a) / p.bag_tasks;
+
+    if (env.node() == 0) {
+      // Master: dedicated dispatcher of the centralized bag (workers split tasks adaptively and
+      // push halves back, so the bag sees the full stream of small tasks — the paper's overhead).
+      std::deque<BagTask> bag;
+      const double fa = Eval(env, &st, p.a);
+      const double fb = Eval(env, &st, p.b);
+      bag.push_back(BagTask{p.a, p.b, fa, fb});
+      int outstanding = 0;
+      double sum = 0;
+
+      if (env.nodes() == 1) {
+        // Degenerate case: master processes its own bag.
+        while (!bag.empty()) {
+          BagTask t = bag.front();
+          bag.pop_front();
+          if (t.b - t.a > bag_min_width) {
+            const double m = 0.5 * (t.a + t.b);
+            const double fm = Eval(env, &st, m);
+            const double whole = 0.5 * (t.fa + t.fb) * (t.b - t.a);
+            const double halves =
+                0.5 * (t.fa + fm) * (m - t.a) + 0.5 * (fm + t.fb) * (t.b - m);
+            if (std::fabs(whole - halves) <= st.tolerance * (t.b - t.a)) {
+              sum += halves;
+            } else {
+              bag.push_back(BagTask{t.a, m, t.fa, fm});
+              bag.push_back(BagTask{m, t.b, fm, t.fb});
+            }
+          } else {
+            sum += QuadRecurse(env, &st, t.a, t.b, t.fa, t.fb);
+          }
+        }
+        total = sum;
+        return;
+      }
+
+      int active_workers = env.nodes() - 1;
+      std::deque<NodeId> waiting;  // workers whose request could not be served yet
+      while (active_workers > 0) {
+        // Serve any waiting worker when the bag has work; otherwise terminate them when all
+        // intervals are accounted for.
+        while (!waiting.empty() && !bag.empty()) {
+          TaskMsg tm{0, bag.front()};
+          bag.pop_front();
+          ++outstanding;
+          env.SendValue(waiting.front(), 61, tm);
+          waiting.pop_front();
+        }
+        if (!waiting.empty() && bag.empty() && outstanding == 0) {
+          while (!waiting.empty()) {
+            env.SendValue(waiting.front(), 61, TaskMsg{1, {}});
+            waiting.pop_front();
+            --active_workers;
+          }
+          continue;
+        }
+        if (active_workers == 0) {
+          break;
+        }
+        // Wait for the next worker message (any worker: poll round-robin over channels).
+        bool got = false;
+        for (NodeId w = 1; w < env.nodes() && !got; ++w) {
+          auto msg = env.runtime().ChannelTryRecv(w, 60);
+          if (msg.has_value()) {
+            ReqMsg rm;
+            DFIL_CHECK_EQ(msg->size(), sizeof(ReqMsg));
+            std::memcpy(&rm, msg->data(), sizeof(rm));
+            if (rm.completed != 0) {
+              --outstanding;
+            }
+            for (int i = 0; i < rm.npush; ++i) {
+              bag.push_back(rm.push[i]);
+            }
+            waiting.push_back(w);
+            got = true;
+          }
+        }
+        if (!got) {
+          env.runtime().WaitAnyChannel();
+        }
+      }
+      // Collect partial sums.
+      for (NodeId w = 1; w < env.nodes(); ++w) {
+        sum += env.RecvValue<double>(w, 62);
+      }
+      total = sum;
+      return;
+    }
+
+    // Worker: request a task, process it (split-and-push while coarse, recurse locally once
+    // fine), report completion with any pushed halves, repeat until terminated.
+    double partial = 0;
+    ReqMsg rm{0, 0, {}};
+    for (;;) {
+      env.SendValue(0, 60, rm);
+      const TaskMsg tm = env.RecvValue<TaskMsg>(0, 61);
+      if (tm.kind == 1) {
+        break;
+      }
+      const BagTask& t = tm.task;
+      rm = ReqMsg{1, 0, {}};
+      if (t.b - t.a > bag_min_width) {
+        const double m = 0.5 * (t.a + t.b);
+        const double fm = Eval(env, &st, m);
+        const double whole = 0.5 * (t.fa + t.fb) * (t.b - t.a);
+        const double halves = 0.5 * (t.fa + fm) * (m - t.a) + 0.5 * (fm + t.fb) * (t.b - m);
+        if (std::fabs(whole - halves) <= st.tolerance * (t.b - t.a)) {
+          partial += halves;
+        } else {
+          rm.npush = 2;
+          rm.push[0] = BagTask{t.a, m, t.fa, fm};
+          rm.push[1] = BagTask{m, t.b, fm, t.fb};
+        }
+      } else {
+        partial += QuadRecurse(env, &st, t.a, t.b, t.fa, t.fb);
+      }
+    }
+    env.SendValue(0, 62, partial);
+  });
+  run.checksum = total;
+  return run;
+}
+
+AppRun RunQuadratureDf(const QuadratureParams& p, const ClusterConfig& base) {
+  ClusterConfig cfg = base;
+  cfg.wake_at_front = true;  // fork/join anti-thrashing policy
+  cfg.steal_enabled = true;  // adaptive quadrature is the paper's case where stealing is vital
+  Cluster cluster(cfg);
+  AppRun run;
+  std::vector<double> evals(cfg.nodes, 0.0);
+  double total = 0;
+  std::vector<QuadState> states(cfg.nodes);
+  run.report = cluster.Run([&](NodeEnv& env) {
+    QuadState& st = states[env.node()];
+    st.tolerance = p.tolerance;
+    env.user_ctx = &st;
+    FjArgs args;
+    if (env.node() == 0) {
+      args.d[0] = p.a;
+      args.d[1] = p.b;
+      args.d[2] = Eval(env, &st, p.a);
+      args.d[3] = Eval(env, &st, p.b);
+    }
+    const FjResult res = env.RunForkJoin(&QuadTask, args);
+    evals[env.node()] = static_cast<double>(st.evals);
+    if (env.node() == 0) {
+      total = res.d;
+    }
+  });
+  run.checksum = total;
+  run.output = evals;
+  return run;
+}
+
+}  // namespace dfil::apps

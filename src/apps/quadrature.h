@@ -1,0 +1,35 @@
+// Adaptive quadrature over an imbalanced integrand (paper §4.3, Figure 6).
+//
+// The integrand has sharp features near both ends of [0, 24], so the equal-subinterval CG
+// program suffers severe load imbalance, the centralized bag-of-tasks CG variant drowns in small
+// messages to the master, and the DF fork/join program with receiver-initiated stealing wins —
+// the paper's motivating case for decentralized dynamic load balancing.
+#ifndef DFIL_APPS_QUADRATURE_H_
+#define DFIL_APPS_QUADRATURE_H_
+
+#include "src/apps/common.h"
+#include "src/core/config.h"
+
+namespace dfil::apps {
+
+struct QuadratureParams {
+  double a = 0.0;
+  double b = 24.0;
+  double tolerance = 3.5e-10;  // calibrated: ~10.7M f-evals = the paper's 203 s sequential
+  int bag_tasks = 2048;     // bag-of-tasks CG variant: number of fixed-width subintervals
+};
+
+// The integrand: smooth background plus two sharp bumps near the interval ends.
+double QuadF(double x);
+
+AppRun RunQuadratureSeq(const QuadratureParams& p, const core::ClusterConfig& base);
+// Static decomposition: p equal subintervals (paper's first CG program).
+AppRun RunQuadratureCgStatic(const QuadratureParams& p, const core::ClusterConfig& base);
+// Centralized bag of tasks on the master (paper's second CG program).
+AppRun RunQuadratureCgBag(const QuadratureParams& p, const core::ClusterConfig& base);
+// Fork/join filaments with tree distribution and stealing.
+AppRun RunQuadratureDf(const QuadratureParams& p, const core::ClusterConfig& base);
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_QUADRATURE_H_

@@ -1,0 +1,28 @@
+// Red-black successive over-relaxation (SOR) — an extension application.
+//
+// A second "regular problem with a stable sharing pattern" (the class implicit-invalidate is
+// designed for, paper §3), but with a twist Jacobi lacks: each iteration is TWO dependent
+// half-sweeps (red points, then black points) over a single grid, so there are two
+// synchronization points per iteration and the edge pages are fetched twice. Convergence is
+// faster per iteration than Jacobi; the DSM traffic per iteration is doubled — a nice trade-off
+// study for the overlap machinery.
+#ifndef DFIL_APPS_SOR_H_
+#define DFIL_APPS_SOR_H_
+
+#include "src/apps/common.h"
+#include "src/core/config.h"
+
+namespace dfil::apps {
+
+struct SorParams {
+  int n = 128;
+  int iterations = 100;
+  double omega = 1.5;  // over-relaxation factor in (1, 2)
+};
+
+AppRun RunSorSeq(const SorParams& p, const core::ClusterConfig& base);
+AppRun RunSorDf(const SorParams& p, const core::ClusterConfig& base);
+
+}  // namespace dfil::apps
+
+#endif  // DFIL_APPS_SOR_H_

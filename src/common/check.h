@@ -1,0 +1,61 @@
+// Runtime invariant checking for the Distributed Filaments runtime.
+//
+// DFIL_CHECK is always on (it guards protocol and scheduler invariants whose violation would
+// corrupt simulation state); DFIL_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#ifndef DFIL_COMMON_CHECK_H_
+#define DFIL_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace dfil {
+
+// Aborts the process after printing `msg` (with source location). Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const std::string& msg);
+
+namespace internal {
+
+// Collects an optional streamed message for a failed check, then aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckFailure() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dfil
+
+#define DFIL_CHECK(cond)                                          \
+  if (cond) {                                                     \
+  } else /* NOLINT */                                             \
+    ::dfil::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define DFIL_CHECK_EQ(a, b) DFIL_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DFIL_CHECK_NE(a, b) DFIL_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DFIL_CHECK_LT(a, b) DFIL_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DFIL_CHECK_LE(a, b) DFIL_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DFIL_CHECK_GT(a, b) DFIL_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DFIL_CHECK_GE(a, b) DFIL_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+// `true || (cond)` keeps the operands odr-referenced (no unused-variable warnings) while the
+// optimizer removes the whole statement.
+#define DFIL_DCHECK(cond) DFIL_CHECK(true || (cond))
+#else
+#define DFIL_DCHECK(cond) DFIL_CHECK(cond)
+#endif
+
+#endif  // DFIL_COMMON_CHECK_H_

@@ -1,0 +1,24 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace dfil {
+namespace {
+
+LogLevel g_level = LogLevel::kNone;
+
+}  // namespace
+
+void DfilSetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel DfilLogLevel() { return g_level; }
+
+namespace internal {
+
+LogLine::~LogLine() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace dfil

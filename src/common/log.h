@@ -1,0 +1,46 @@
+// Minimal leveled logging. Off by default; enabled per-run via DfilSetLogLevel (tests and the
+// debugging benches use it). Log lines carry the virtual time of the emitting node when known.
+#ifndef DFIL_COMMON_LOG_H_
+#define DFIL_COMMON_LOG_H_
+
+#include <sstream>
+
+namespace dfil {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+void DfilSetLogLevel(LogLevel level);
+LogLevel DfilLogLevel();
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(const char* tag) { stream_ << "[" << tag << "] "; }
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dfil
+
+#define DFIL_LOG(level, tag)                                     \
+  if (::dfil::DfilLogLevel() < ::dfil::LogLevel::level) {        \
+  } else /* NOLINT */                                            \
+    ::dfil::internal::LogLine(tag)
+
+#endif  // DFIL_COMMON_LOG_H_

@@ -1,0 +1,117 @@
+// Lightweight counters used to reproduce the paper's overhead analyses.
+//
+// Figure 10 of the paper breaks per-node execution time into work, filament execution, data
+// transfer, synchronization overhead, and synchronization delay. Every virtual-time charge in the
+// runtime is tagged with one of these categories so the same breakdown can be printed.
+#ifndef DFIL_COMMON_STATS_H_
+#define DFIL_COMMON_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace dfil {
+
+// Category of a virtual-time charge (paper Figure 10 rows, plus Idle for uncharged gaps).
+enum class TimeCategory : uint8_t {
+  kWork = 0,          // the computation proper
+  kFilamentExec,      // creating/running filaments, descriptor traversal
+  kDataTransfer,      // page faulting and page-request servicing
+  kSyncOverhead,      // sending/receiving synchronization messages
+  kSyncDelay,         // waiting at a barrier/join for other nodes
+  kIdle,              // node had nothing to run (shows up as tail-end load imbalance)
+  kNumCategories,
+};
+
+inline constexpr size_t kNumTimeCategories = static_cast<size_t>(TimeCategory::kNumCategories);
+
+constexpr std::string_view TimeCategoryName(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kWork:
+      return "work";
+    case TimeCategory::kFilamentExec:
+      return "filament_exec";
+    case TimeCategory::kDataTransfer:
+      return "data_transfer";
+    case TimeCategory::kSyncOverhead:
+      return "sync_overhead";
+    case TimeCategory::kSyncDelay:
+      return "sync_delay";
+    case TimeCategory::kIdle:
+      return "idle";
+    default:
+      return "?";
+  }
+}
+
+// Per-node accumulation of charged virtual time by category.
+class TimeBreakdown {
+ public:
+  void Add(TimeCategory c, SimTime t) { by_category_[static_cast<size_t>(c)] += t; }
+
+  SimTime Get(TimeCategory c) const { return by_category_[static_cast<size_t>(c)]; }
+
+  SimTime Total() const {
+    SimTime sum = 0;
+    for (SimTime t : by_category_) {
+      sum += t;
+    }
+    return sum;
+  }
+
+  void Reset() { by_category_.fill(0); }
+
+ private:
+  std::array<SimTime, kNumTimeCategories> by_category_{};
+};
+
+// Message-traffic counters, used to verify protocol claims (e.g. implicit-invalidate sends no
+// invalidation messages; the tournament barrier sends O(p) messages).
+struct MessageStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t retransmissions = 0;
+  uint64_t deferred_requests = 0;  // requests ignored because the replier was in a critical section
+
+  void Reset() { *this = MessageStats{}; }
+};
+
+// DSM activity counters.
+struct DsmStats {
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t page_requests_served = 0;
+  uint64_t invalidations_sent = 0;
+  uint64_t invalidations_received = 0;
+  uint64_t implicit_invalidations = 0;  // read-only copies dropped at synchronization points
+  uint64_t page_forwards = 0;           // requests forwarded along the owner chain
+  uint64_t mirage_deferrals = 0;        // page requests delayed by the Mirage hold window
+  uint64_t fetch_deferrals = 0;         // page requests deferred because the entry was in flux
+
+  void Reset() { *this = DsmStats{}; }
+};
+
+// Filaments runtime counters.
+struct FilamentStats {
+  uint64_t filaments_created = 0;
+  uint64_t filaments_run = 0;
+  uint64_t filaments_run_inlined = 0;  // executed via the pattern-recognized strip path
+  uint64_t forks_local = 0;
+  uint64_t forks_pruned = 0;  // forks converted to procedure calls
+  uint64_t forks_sent = 0;    // forks shipped to another node (tree distribution)
+  uint64_t steals_attempted = 0;
+  uint64_t steals_succeeded = 0;
+  uint64_t steals_denied = 0;
+  uint64_t steals_attempted_on_us = 0;  // steal requests this node served or denied
+  uint64_t pool_suspensions = 0;
+  uint64_t server_threads_started = 0;
+
+  void Reset() { *this = FilamentStats{}; }
+};
+
+}  // namespace dfil
+
+#endif  // DFIL_COMMON_STATS_H_

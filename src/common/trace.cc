@@ -1,0 +1,79 @@
+#include "src/common/trace.h"
+
+#include "src/common/check.h"
+
+namespace dfil {
+namespace {
+
+// Minimal JSON string escaping (names are runtime-generated identifiers, not user text).
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::Begin(NodeId node, uint64_t tid, const char* category, std::string name,
+                          SimTime ts) {
+  events_.push_back(Event{'B', node, tid, category, std::move(name), ts});
+  depth_[{node, tid}]++;
+}
+
+void TraceRecorder::End(NodeId node, uint64_t tid, SimTime ts) {
+  auto it = depth_.find({node, tid});
+  DFIL_CHECK(it != depth_.end() && it->second > 0)
+      << "TraceRecorder::End without a matching Begin on node " << node << " thread " << tid;
+  it->second--;
+  events_.push_back(Event{'E', node, tid, "", "", ts});
+}
+
+void TraceRecorder::Instant(NodeId node, uint64_t tid, const char* category, std::string name,
+                            SimTime ts) {
+  events_.push_back(Event{'i', node, tid, category, std::move(name), ts});
+}
+
+size_t TraceRecorder::open_spans() const {
+  size_t open = 0;
+  for (const auto& [key, depth] : depth_) {
+    open += static_cast<size_t>(depth);
+  }
+  return open;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.node << ",\"tid\":" << e.tid
+       << ",\"ts\":" << ToMicroseconds(e.ts);
+    if (e.phase != 'E') {
+      os << ",\"cat\":\"" << e.category << "\",\"name\":\"";
+      WriteEscaped(os, e.name);
+      os << "\"";
+      if (e.phase == 'i') {
+        os << ",\"s\":\"t\"";
+      }
+    }
+    os << "}";
+  }
+  os << "]\n";
+}
+
+}  // namespace dfil

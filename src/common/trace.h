@@ -1,0 +1,55 @@
+// Virtual-time execution tracing.
+//
+// When enabled (ClusterConfig::trace_enabled), the runtime records spans and instants — pool
+// sweeps, page faults, reductions, fork/join task executions, message sends — against each node's
+// virtual clock, keyed by (node, server thread). The result exports as Chrome trace-event JSON
+// (chrome://tracing, Perfetto), which makes the paper's overlap story *visible*: the interior
+// pool's span running under another thread's open page-fault span IS the communication/
+// computation overlap.
+#ifndef DFIL_COMMON_TRACE_H_
+#define DFIL_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace dfil {
+
+class TraceRecorder {
+ public:
+  // Opens a span on (node, tid) at virtual time ts.
+  void Begin(NodeId node, uint64_t tid, const char* category, std::string name, SimTime ts);
+  // Closes the innermost open span on (node, tid).
+  void End(NodeId node, uint64_t tid, SimTime ts);
+  // A point event.
+  void Instant(NodeId node, uint64_t tid, const char* category, std::string name, SimTime ts);
+
+  size_t event_count() const { return events_.size(); }
+  // Number of spans still open (should be zero after a clean run).
+  size_t open_spans() const;
+
+  // Chrome trace-event format: a JSON array of {name, cat, ph, pid, tid, ts} objects, with pid =
+  // node id and ts in microseconds of virtual time.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char phase;  // 'B', 'E', 'i'
+    NodeId node;
+    uint64_t tid;
+    const char* category;
+    std::string name;
+    SimTime ts;
+  };
+
+  std::vector<Event> events_;
+  std::map<std::pair<NodeId, uint64_t>, int> depth_;
+};
+
+}  // namespace dfil
+
+#endif  // DFIL_COMMON_TRACE_H_

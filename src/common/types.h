@@ -1,0 +1,40 @@
+// Fundamental identifier and virtual-time types shared by all Distributed Filaments modules.
+#ifndef DFIL_COMMON_TYPES_H_
+#define DFIL_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace dfil {
+
+// A node (simulated workstation) in the cluster. Nodes are numbered 0..p-1; node 0 is the
+// "master" that initializes shared data in the paper's applications.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+// Virtual time in nanoseconds. All performance in this reproduction is measured in virtual time,
+// which is advanced deterministically by the cost model; see src/sim/cost_model.h.
+using SimTime = int64_t;
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+// Convenience constructors, usable in constant expressions.
+constexpr SimTime Nanoseconds(int64_t n) { return n; }
+constexpr SimTime Microseconds(double us) { return static_cast<SimTime>(us * 1e3); }
+constexpr SimTime Milliseconds(double ms) { return static_cast<SimTime>(ms * 1e6); }
+constexpr SimTime Seconds(double s) { return static_cast<SimTime>(s * 1e9); }
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double ToMilliseconds(SimTime t) { return static_cast<double>(t) * 1e-6; }
+constexpr double ToMicroseconds(SimTime t) { return static_cast<double>(t) * 1e-3; }
+
+// An address in the distributed shared memory region. Shared addresses have the same meaning on
+// every node (the shared section is replicated at the same location, paper §3); in this
+// reproduction that property is realized by using offsets into the per-node replica.
+using GlobalAddr = uint64_t;
+
+// Index of a DSM page (GlobalAddr >> page_shift).
+using PageId = uint32_t;
+inline constexpr PageId kNoPage = UINT32_MAX;
+
+}  // namespace dfil
+
+#endif  // DFIL_COMMON_TYPES_H_

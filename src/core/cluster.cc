@@ -1,0 +1,72 @@
+#include "src/core/cluster.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dfil::core {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config), layout_(config.page_shift) {
+  DFIL_CHECK_GT(config_.nodes, 0);
+  DFIL_CHECK_LE(config_.nodes, 64) << "copysets and reductions support at most 64 nodes";
+}
+
+Cluster::~Cluster() = default;
+
+RunReport Cluster::Run(const NodeMain& node_main) {
+  DFIL_CHECK(!ran_) << "a Cluster runs exactly once; construct a new one per experiment";
+  ran_ = true;
+  if (!layout_.sealed()) {
+    layout_.Seal(config_.nodes);
+  }
+
+  std::unique_ptr<sim::NetworkModel> net;
+  if (config_.network == NetworkKind::kSharedEthernet) {
+    net = std::make_unique<sim::SharedEthernet>(config_.costs, config_.loss_rate,
+                                                config_.seed ^ 0x9E3779B97F4A7C15ULL);
+  } else {
+    net = std::make_unique<sim::SwitchedNetwork>(config_.costs, config_.nodes, config_.loss_rate,
+                                                 config_.seed ^ 0x9E3779B97F4A7C15ULL);
+  }
+  machine_ = std::make_unique<sim::Machine>(std::move(net), config_.costs);
+
+  std::shared_ptr<TraceRecorder> trace;
+  if (config_.trace_enabled) {
+    trace = std::make_shared<TraceRecorder>();
+  }
+  nodes_.clear();
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(n, config_, machine_.get(), &layout_));
+    nodes_.back()->SetTrace(trace.get());
+    machine_->AddHost(nodes_.back().get());
+  }
+  for (auto& node : nodes_) {
+    NodeRuntime* rt = node.get();
+    rt->SetMain([rt, &node_main] { node_main(rt->env()); });
+  }
+
+  sim::RunResult sim_result = machine_->Run(config_.max_virtual_time);
+
+  RunReport report;
+  report.completed = sim_result.completed;
+  report.deadlocked = sim_result.deadlocked;
+  report.deadlock_report = sim_result.deadlock_report;
+  report.makespan = sim_result.makespan;
+  report.events = sim_result.events_dispatched;
+  report.net = machine_->net_stats();
+  report.medium_busy = machine_->network().MediumBusyTime();
+  report.trace = trace;
+  for (auto& node : nodes_) {
+    NodeReport nr;
+    nr.node = node->id();
+    nr.finished_at = node->main_finished_at();
+    nr.breakdown = node->breakdown();
+    nr.filaments = node->fil_stats();
+    nr.dsm = node->dsm().stats();
+    nr.packet = node->packet().stats();
+    report.nodes.push_back(nr);
+  }
+  return report;
+}
+
+}  // namespace dfil::core

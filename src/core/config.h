@@ -1,0 +1,73 @@
+// Cluster-wide configuration for a Distributed Filaments run.
+#ifndef DFIL_CORE_CONFIG_H_
+#define DFIL_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "src/common/types.h"
+#include "src/dsm/dsm_node.h"
+#include "src/net/packet.h"
+#include "src/sim/cost_model.h"
+#include "src/threads/context.h"
+
+namespace dfil::core {
+
+enum class NetworkKind {
+  kSharedEthernet,  // the paper's testbed: one 10 Mb/s medium
+  kSwitched,        // ablation: full-duplex point-to-point
+};
+
+struct ClusterConfig {
+  int nodes = 8;
+  sim::CostModel costs = sim::CostModel::SunIpcEthernet();
+  NetworkKind network = NetworkKind::kSharedEthernet;
+  double loss_rate = 0.0;  // per-frame drop probability
+  uint64_t seed = 1;
+
+  dsm::DsmConfig dsm;
+  net::PacketConfig packet;
+  // DSM page size (log2). 12 = the 4 KB SunOS pages of the paper.
+  size_t page_shift = 12;
+
+  // Ready-queue placement for server threads woken by a page arrival: the tail placement drives
+  // the iterative fault-frontloading optimization (paper §2.2); the front placement is the
+  // fork/join anti-thrashing mechanism (paper §2.3).
+  bool wake_at_front = false;
+
+  // Server threads.
+  int max_server_threads = 128;
+  size_t stack_bytes = 256 * 1024;
+  threads::ContextBackend backend = threads::DefaultContextBackend();
+
+  // Fork/join.
+  bool steal_enabled = true;         // receiver-initiated dynamic load balancing
+  int prune_threshold = 4;           // local queue depth at which forks become procedure calls
+  int steal_min_surplus = 1;         // a victim gives queued work whenever it has any
+  SimTime steal_retry = Milliseconds(4.0);   // idle re-poll interval after a full denial round
+  SimTime steal_grace = Milliseconds(50.0);  // nodes may steal this long after start even if the
+                                             // distribution tree never reached them
+
+  // Reductions: disseminate via per-node reliable requests instead of one raw broadcast frame.
+  // Required when loss_rate > 0 (a lost broadcast would hang the barrier).
+  bool reliable_broadcast = false;
+
+  // Barrier/reduction algorithm (the paper's future-work item "experiments with different types
+  // of barriers"). Tournament+broadcast is the paper's choice (O(p) messages, O(log p) latency).
+  // Dissemination is O(p log p) messages but every node finishes after log p rounds with no
+  // broadcast; NOTE: nodes combine in different orders, so floating-point sums may differ in the
+  // last ulp across nodes — use it for barriers/min/max or bitwise-insensitive programs.
+  // Central is the naive 2p-message master-combining baseline.
+  enum class BarrierKind { kTournamentBroadcast, kDissemination, kCentral };
+  BarrierKind barrier = BarrierKind::kTournamentBroadcast;
+
+  // Record a virtual-time execution trace (pool sweeps, faults, reductions, fj tasks) for
+  // export as Chrome trace-event JSON via RunReport::trace.
+  bool trace_enabled = false;
+
+  // Runaway guard for the virtual clock.
+  SimTime max_virtual_time = Seconds(100000.0);
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_CONFIG_H_

@@ -1,0 +1,73 @@
+// Filament descriptors and pools (paper §2.1–2.2).
+//
+// A filament is a stackless thread: a code pointer plus a few argument words. It has no private
+// stack and no guaranteed execution order relative to other filaments; server threads execute
+// filaments one at a time. Pools group filaments that ideally reference the same pages, so that a
+// fault suspends the whole pool and a different pool overlaps the communication.
+#ifndef DFIL_CORE_FILAMENT_H_
+#define DFIL_CORE_FILAMENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dfil::core {
+
+class NodeEnv;
+
+// The body of an RTC or iterative filament. Receives the node environment and the descriptor's
+// three argument words (typically array indices).
+using FilamentFn = void (*)(NodeEnv&, int64_t, int64_t, int64_t);
+
+struct Filament {
+  FilamentFn fn;
+  int64_t a0;
+  int64_t a1;
+  int64_t a2;
+};
+static_assert(sizeof(Filament) == 32, "filament descriptors are meant to stay lean");
+
+// A contiguous run of filaments with the same code pointer and affine argument progression,
+// discovered by run-time pattern recognition (paper §2.1). Executing a strip iterates directly,
+// generating arguments "in registers" instead of traversing descriptors, which is what the
+// cheaper inlined-switch cost models.
+struct Strip {
+  FilamentFn fn;
+  int64_t a0, a1, a2;     // first filament's arguments
+  int64_t d0, d1, d2;     // per-step argument deltas
+  int64_t count;
+};
+
+// Minimum run length worth executing through the strip path.
+inline constexpr int64_t kMinStripLength = 8;
+
+struct Pool {
+  explicit Pool(int id_in) : id(id_in) {}
+
+  int id;
+  std::vector<Filament> filaments;
+
+  // Pattern-recognition cache: alternating strips and single filaments covering `filaments` in
+  // order. Rebuilt lazily when `patterns_valid` is false (i.e., after new filaments are added).
+  std::vector<Strip> strips;
+  std::vector<Filament> singles;  // filaments not covered by any strip
+  bool patterns_valid = false;
+
+  // Set while a server thread is executing (or suspended inside) this pool during a sweep.
+  bool running = false;
+  // True once every filament of this pool has executed in the current sweep.
+  bool completed = false;
+  // True if any filament of this pool faulted during the current sweep (frontloading input).
+  bool faulted_this_sweep = false;
+
+  // Adaptive pool assignment (the paper's future-work item "automatic clustering of filaments
+  // that share pages into execution pools"): while true, the engine profiles which page each
+  // filament first faults on during the sweep, then repartitions this pool's filaments into
+  // per-page pools plus a non-faulting pool.
+  bool auto_profile = false;
+  std::vector<std::pair<int64_t, uint32_t>> fault_profile;  // (filament ordinal, page)
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_FILAMENT_H_

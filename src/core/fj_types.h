@@ -1,0 +1,39 @@
+// Fork/join filament types (paper §2.3).
+#ifndef DFIL_CORE_FJ_TYPES_H_
+#define DFIL_CORE_FJ_TYPES_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace dfil::core {
+
+class NodeEnv;
+
+// Arguments of a fork/join filament. Fixed-size so descriptors ship in one small datagram.
+struct FjArgs {
+  double d[4] = {0, 0, 0, 0};
+  int64_t i[4] = {0, 0, 0, 0};
+};
+
+// Result of a fork/join filament: a scalar plus an integer word (applications that produce bulk
+// results, like the expression-tree matrices, place them in DSM and return the global address).
+struct FjResult {
+  double d = 0;
+  int64_t i = 0;
+};
+
+// The body of a fork/join filament. May call NodeEnv::Fork / NodeEnv::Join recursively.
+using FjFn = FjResult (*)(NodeEnv&, const FjArgs&);
+
+struct JoinCell;
+
+// Handle returned by Fork and consumed (exactly once) by Join.
+struct FjHandle {
+  JoinCell* cell = nullptr;   // null when the fork was pruned into a direct call
+  FjResult inline_result{};   // valid when cell == nullptr
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_FJ_TYPES_H_

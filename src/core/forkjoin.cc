@@ -1,0 +1,458 @@
+#include "src/core/forkjoin.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/core/node_runtime.h"
+
+namespace dfil::core {
+namespace {
+
+struct ShipBody {
+  uint64_t fn;
+  FjArgs args;
+  NodeId origin;
+  uint64_t cell_addr;
+};
+
+struct ResultBody {
+  uint64_t cell_addr;
+  FjResult result;
+};
+
+}  // namespace
+
+FjEngine::FjEngine(NodeRuntime* rt) : rt_(rt) { RegisterServices(); }
+
+void FjEngine::RegisterServices() {
+  net::PacketEndpoint& pk = rt_->packet();
+
+  // A filament shipped to us by the distribution tree. Enqueuing is a mutation of the thread
+  // queues, so this service is non-idempotent (duplicates would run the filament twice).
+  pk.RegisterService(
+      net::Service::kForkShip,
+      [this](NodeId src, net::WireReader body) -> std::optional<net::Payload> {
+        (void)src;
+        const auto ship = body.Get<ShipBody>();
+        queue_.push_back(Task{reinterpret_cast<FjFn>(ship.fn), ship.args, ship.origin,
+                              ship.cell_addr});
+        got_first_work_ = true;
+        steal_backoff_ = rt_->config().steal_retry;  // fresh work: poll eagerly again
+        EnsureWorkerForQueue();
+        return net::Payload{};
+      },
+      /*idempotent=*/false);
+
+  // A join result coming home. Also non-idempotent: it completes a cell exactly once.
+  pk.RegisterService(
+      net::Service::kJoinResult,
+      [this](NodeId src, net::WireReader body) -> std::optional<net::Payload> {
+        (void)src;
+        const auto res = body.Get<ResultBody>();
+        auto* cell = reinterpret_cast<JoinCell*>(res.cell_addr);
+        DFIL_CHECK(!cell->done) << "join cell completed twice";
+        cell->result = res.result;
+        cell->done = true;
+        if (cell->waiter != nullptr) {
+          threads::ServerThread* t = cell->waiter;
+          cell->waiter = nullptr;
+          rt_->WakeAtTail(t);  // FIFO: the front slot is reserved for page-arrival wakes
+        }
+        return net::Payload{};
+      },
+      /*idempotent=*/false);
+
+  // A steal request. Handing over a queued filament mutates the thread queues: non-idempotent,
+  // and ignored while this node is inside a critical section.
+  pk.RegisterService(
+      net::Service::kStealWork,
+      [this](NodeId src, net::WireReader body) -> std::optional<net::Payload> {
+        (void)src;
+        (void)body;
+        rt_->fil_stats().steals_attempted_on_us++;
+        last_steal_demand_ = rt_->Clock();
+        net::WireWriter w;
+        if (phase_active_ && !terminated_ &&
+            queue_.size() >= static_cast<size_t>(rt_->config().steal_min_surplus)) {
+          Task task = queue_.front();  // oldest = coarsest work
+          queue_.pop_front();
+          w.Put(uint8_t{1});
+          w.Put(ShipBody{reinterpret_cast<uint64_t>(task.fn), task.args, task.origin,
+                         task.cell_addr});
+        } else {
+          w.Put(uint8_t{0});
+        }
+        return w.Take();
+      },
+      /*idempotent=*/false);
+
+  // Termination of the fork/join phase (root join completed on node 0).
+  auto handle_terminate = [this] {
+    terminated_ = true;
+    WakeAllIdle();
+  };
+  pk.RegisterRawHandler(net::Service::kTerminate,
+                        [handle_terminate](NodeId, net::Payload) { handle_terminate(); });
+  pk.RegisterService(
+      net::Service::kTerminate,
+      [handle_terminate](NodeId, net::WireReader) -> std::optional<net::Payload> {
+        handle_terminate();
+        return net::Payload{};
+      },
+      /*idempotent=*/true);
+}
+
+void FjEngine::ComputeTreeChildren() {
+  tree_children_.clear();
+  const int p = rt_->config().nodes;
+  const NodeId r = rt_->id();
+  // Binomial tree rooted at 0 (paper Figure 2): node r's children are r + low/2, r + low/4, ...
+  // where `low` is r's lowest set bit (or the power of two covering p for the root). Listed
+  // largest-subtree first, so the first fork travels farthest and working nodes double each step.
+  int64_t low;
+  if (r == 0) {
+    low = 1;
+    while (low < p) {
+      low <<= 1;
+    }
+  } else {
+    low = r & -r;
+  }
+  for (int64_t b = low >> 1; b >= 1; b >>= 1) {
+    if (r + b < p) {
+      tree_children_.push_back(static_cast<NodeId>(r + b));
+    }
+  }
+}
+
+FjResult FjEngine::Run(FjFn root, const FjArgs& args) {
+  threads::ServerThread* self = rt_->CurrentThread();
+  DFIL_CHECK(self != nullptr);
+  DFIL_CHECK(!phase_active_);
+  phase_active_ = true;
+  terminated_ = false;
+  ship_next_ = true;
+  got_first_work_ = rt_->id() == 0;
+  next_victim_ = (rt_->id() + 1) % rt_->config().nodes;
+  steal_allowed_at_ = rt_->Clock() + rt_->config().steal_grace;
+  steal_backoff_ = rt_->config().steal_retry;
+  last_steal_demand_ = rt_->Clock() - Seconds(1.0);
+  ComputeTreeChildren();
+
+  FjResult result{};
+  if (rt_->id() == 0) {
+    rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().filament_create);
+    rt_->fil_stats().filaments_created++;
+    result = root(rt_->env(), args);
+    // Root join complete: every descendant filament has finished, everywhere.
+    terminated_ = true;
+    if (rt_->config().reliable_broadcast) {
+      for (NodeId n = 1; n < rt_->config().nodes; ++n) {
+        rt_->packet().SendRequest(n, net::Service::kTerminate, {}, nullptr,
+                                  TimeCategory::kSyncOverhead);
+      }
+    } else if (rt_->config().nodes > 1) {
+      rt_->packet().BroadcastRaw(net::Service::kTerminate, {}, TimeCategory::kSyncOverhead);
+    }
+    WakeAllIdle();
+  } else {
+    // Non-root mains serve the queue as ordinary workers until termination.
+    ++active_workers_;
+    workers_.push_back(self);
+    WorkerLoop(/*is_main=*/true);
+    --active_workers_;
+    workers_.erase(std::find(workers_.begin(), workers_.end(), self));
+  }
+
+  // Wait for any helper workers this node spawned to wind down.
+  while (active_workers_ > 0) {
+    DFIL_CHECK(winddown_waiter_ == nullptr);
+    winddown_waiter_ = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("fj-winddown");
+    rt_->BlockCurrent();
+  }
+  steal_timer_.Cancel();
+  phase_active_ = false;
+  rt_->Reduce(0.0, ReduceOp::kBarrier);
+  return result;
+}
+
+FjHandle FjEngine::Fork(FjFn fn, const FjArgs& args) {
+  DFIL_CHECK(phase_active_) << "Fork outside RunForkJoin";
+  FilamentStats& fs = rt_->fil_stats();
+
+  // Phase 1: sender-initiated tree distribution — of each fork pair, ship one, keep one.
+  if (!tree_children_.empty() && ship_next_) {
+    ship_next_ = false;
+    const NodeId child = tree_children_.front();
+    tree_children_.erase(tree_children_.begin());
+    auto* cell = new JoinCell();
+    net::WireWriter w;
+    w.Put(ShipBody{reinterpret_cast<uint64_t>(fn), args, rt_->id(),
+                   reinterpret_cast<uint64_t>(cell)});
+    fs.forks_sent++;
+    rt_->packet().SendRequest(child, net::Service::kForkShip, w.Take(), nullptr,
+                              TimeCategory::kSyncOverhead);
+    return FjHandle{cell, {}};
+  }
+  ship_next_ = true;
+
+  // Dynamic pruning: enough local work queued to keep everyone busy — a fork is now a call.
+  // "Everyone busy" is a cluster property: while steal requests keep arriving, other nodes are
+  // NOT busy, so pruning stays off and forks remain visible to thieves (bounded by a queue cap).
+  const bool steal_demand =
+      rt_->config().steal_enabled && rt_->Clock() - last_steal_demand_ < Milliseconds(100.0) &&
+      queue_.size() < 64;
+  if (tree_children_.empty() && !steal_demand &&
+      queue_.size() >= static_cast<size_t>(rt_->config().prune_threshold)) {
+    fs.forks_pruned++;
+    rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().fork_inline);
+    FjHandle h{nullptr, {}};
+    h.inline_result = fn(rt_->env(), args);
+    return h;
+  }
+
+  // Otherwise: a real local filament. Creating it mutates the thread queues — a critical section
+  // (a single flag assignment each way); concurrent steal requests are deferred meanwhile.
+  auto* cell = new JoinCell();
+  rt_->EnterCritical();
+  queue_.push_back(Task{fn, args, rt_->id(), reinterpret_cast<uint64_t>(cell)});
+  rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().filament_create);
+  rt_->ExitCritical();
+  fs.filaments_created++;
+  fs.forks_local++;
+  EnsureWorkerForQueue();
+  return FjHandle{cell, {}};
+}
+
+FjResult FjEngine::Join(FjHandle& handle) {
+  if (handle.cell == nullptr) {
+    return handle.inline_result;  // pruned fork: join is a return
+  }
+  JoinCell* cell = handle.cell;
+  threads::ServerThread* self = rt_->CurrentThread();
+
+  // Self-service: if the child is still sitting in our local queue (not stolen, not picked up by
+  // another worker), run it inline right now instead of blocking — the overwhelmingly common
+  // case, and it turns the fork/join pair into what the paper calls "joins into returns" without
+  // giving up stealability in the window between Fork and Join.
+  if (!cell->done) {
+    const auto cell_addr = reinterpret_cast<uint64_t>(cell);
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+      if (it->cell_addr == cell_addr && it->origin == rt_->id()) {
+        Task task = *it;
+        rt_->EnterCritical();
+        queue_.erase(std::next(it).base());
+        rt_->ExitCritical();
+        Execute(task);
+        break;
+      }
+    }
+  }
+  while (!cell->done) {
+    DFIL_CHECK(cell->waiter == nullptr);
+    // While this thread waits, another server thread must keep the local queue moving. Spawning
+    // one charges virtual time and may yield — the result can arrive during that yield, before a
+    // waiter is registered — so re-check before committing to block.
+    EnsureWorkerForQueue(self);
+    if (cell->done) {
+      break;
+    }
+    cell->waiter = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("join");
+    rt_->BlockCurrent();
+  }
+  const FjResult result = cell->result;
+  delete cell;
+  handle.cell = nullptr;
+  return result;
+}
+
+void FjEngine::WorkerLoop(bool is_main) {
+  for (;;) {
+    if (!queue_.empty()) {
+      rt_->EnterCritical();
+      Task task = queue_.back();  // newest first: depth-first keeps the working set small
+      queue_.pop_back();
+      rt_->ExitCritical();
+      Execute(task);
+      continue;
+    }
+    if (terminated_) {
+      return;
+    }
+    if (CanStealNow()) {
+      if (TrySteal()) {
+        steal_backoff_ = rt_->config().steal_retry;
+        continue;
+      }
+      // Full denial round: back off so the busy nodes are not flooded with hopeless polls (the
+      // paper's §4.3 observation about load-balance denials).
+      steal_backoff_ = std::min<SimTime>(steal_backoff_ * 2, rt_->config().steal_retry * 16);
+    }
+    if (terminated_) {
+      return;
+    }
+    if (!is_main && idle_.size() >= 4) {
+      // Enough idle workers already parked: retire this helper so the server-thread pool (and
+      // its stacks) stays bounded over long fork/join phases.
+      return;
+    }
+    // Idle: wait for shipped work, a steal retry tick, or termination.
+    threads::ServerThread* self = rt_->CurrentThread();
+    idle_.push_back(self);
+    if (CanStealNow()) {
+      ArmStealRetry();
+    }
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("fj-idle");
+    rt_->BlockCurrent();
+  }
+}
+
+void FjEngine::Execute(const Task& task) {
+  rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().filament_switch);
+  rt_->fil_stats().filaments_run++;
+  rt_->TraceBegin("fj", "task");
+  const FjResult result = task.fn(rt_->env(), task.args);
+  rt_->TraceEnd();
+  Deliver(task, result);
+}
+
+void FjEngine::Deliver(const Task& task, const FjResult& result) {
+  if (task.origin == rt_->id()) {
+    auto* cell = reinterpret_cast<JoinCell*>(task.cell_addr);
+    DFIL_CHECK(!cell->done);
+    cell->result = result;
+    cell->done = true;
+    if (cell->waiter != nullptr) {
+      threads::ServerThread* t = cell->waiter;
+      cell->waiter = nullptr;
+      rt_->WakeAtTail(t);
+    }
+    return;
+  }
+  net::WireWriter w;
+  w.Put(ResultBody{task.cell_addr, result});
+  rt_->packet().SendRequest(task.origin, net::Service::kJoinResult, w.Take(), nullptr,
+                            TimeCategory::kSyncOverhead);
+}
+
+void FjEngine::EnsureWorkerForQueue(const threads::ServerThread* about_to_block) {
+  if (queue_.empty()) {
+    return;
+  }
+  if (!idle_.empty()) {
+    WakeOneIdle();
+    return;
+  }
+  // Spawn only when every live worker is blocked — otherwise one of them will reach the queue.
+  for (const threads::ServerThread* w : workers_) {
+    if (w == about_to_block) {
+      continue;
+    }
+    if (w->state() == threads::ThreadState::kReady ||
+        w->state() == threads::ThreadState::kRunning) {
+      return;
+    }
+  }
+  threads::ServerThread* t = rt_->SpawnThread([this] {
+    ++active_workers_;
+    WorkerLoop(/*is_main=*/false);
+    --active_workers_;
+    workers_.erase(std::find(workers_.begin(), workers_.end(), rt_->CurrentThread()));
+    if (active_workers_ == 0 && winddown_waiter_ != nullptr) {
+      threads::ServerThread* waiter = winddown_waiter_;
+      winddown_waiter_ = nullptr;
+      rt_->Wake(waiter);
+    }
+  });
+  workers_.push_back(t);
+}
+
+void FjEngine::WakeOneIdle() {
+  if (idle_.empty()) {
+    return;
+  }
+  threads::ServerThread* t = idle_.back();
+  idle_.pop_back();
+  rt_->WakeAtTail(t);
+}
+
+void FjEngine::WakeAllIdle() {
+  while (!idle_.empty()) {
+    WakeOneIdle();
+  }
+}
+
+bool FjEngine::CanStealNow() const {
+  if (!rt_->config().steal_enabled || !phase_active_ || terminated_) {
+    return false;
+  }
+  // Paper §2.3: a node steals only when it has no new filaments and none suspended on a page.
+  if (!queue_.empty() || rt_->dsm().pending_fetches() > 0) {
+    return false;
+  }
+  // Don't flood the root before the distribution tree has reached us (unless it is overdue).
+  return got_first_work_ || rt_->Clock() >= steal_allowed_at_;
+}
+
+bool FjEngine::TrySteal() {
+  const int p = rt_->config().nodes;
+  FilamentStats& fs = rt_->fil_stats();
+  for (int i = 0; i < p - 1; ++i) {
+    const NodeId victim = next_victim_;
+    next_victim_ = (next_victim_ + 1) % p;
+    if (next_victim_ == rt_->id()) {
+      next_victim_ = (next_victim_ + 1) % p;
+    }
+    if (victim == rt_->id()) {
+      continue;
+    }
+    fs.steals_attempted++;
+    net::Payload reply =
+        rt_->CallService(victim, net::Service::kStealWork, {}, TimeCategory::kSyncOverhead);
+    net::WireReader r(reply);
+    if (r.Get<uint8_t>() != 0) {
+      const auto ship = r.Get<ShipBody>();
+      queue_.push_back(Task{reinterpret_cast<FjFn>(ship.fn), ship.args, ship.origin,
+                            ship.cell_addr});
+      got_first_work_ = true;
+      fs.steals_succeeded++;
+      return true;
+    }
+    fs.steals_denied++;
+    if (terminated_) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void FjEngine::ArmStealRetry() {
+  if (steal_timer_.active()) {
+    return;
+  }
+  steal_timer_ = rt_->machine().ScheduleTimer(
+      rt_->id(), rt_->Clock() + steal_backoff_, [this] {
+        steal_timer_.Release();
+        if (terminated_ || !phase_active_ || idle_.empty()) {
+          return;  // a worker that idles again re-arms the timer itself
+        }
+        WakeOneIdle();
+        ArmStealRetry();
+      });
+}
+
+void FjEngine::OnWorkerBlocked() {
+  if (!phase_active_) {
+    return;
+  }
+  EnsureWorkerForQueue();
+}
+
+}  // namespace dfil::core

@@ -1,0 +1,117 @@
+// Typed views over distributed shared memory.
+//
+// These are the library routines the paper mentions for allocating padded global data structures.
+// A GlobalArray2D<T> can pad each row to a page boundary so different nodes' strips never share a
+// page (the user-controlled granularity knob that stands in for false-sharing avoidance).
+#ifndef DFIL_CORE_GLOBAL_ARRAY_H_
+#define DFIL_CORE_GLOBAL_ARRAY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/core/node_env.h"
+#include "src/dsm/layout.h"
+
+namespace dfil::core {
+
+template <typename T>
+class GlobalRef {
+ public:
+  GlobalRef() = default;
+  explicit GlobalRef(GlobalAddr addr) : addr_(addr) {}
+
+  static GlobalRef Alloc(dsm::GlobalLayout& layout, const std::string& name) {
+    return GlobalRef(layout.Alloc(sizeof(T), alignof(T), name));
+  }
+
+  GlobalAddr addr() const { return addr_; }
+  T Read(NodeEnv& env) const { return env.Read<T>(addr_); }
+  void Write(NodeEnv& env, const T& v) const { env.Write<T>(addr_, v); }
+
+ private:
+  GlobalAddr addr_ = 0;
+};
+
+template <typename T>
+class GlobalArray1D {
+ public:
+  GlobalArray1D() = default;
+  GlobalArray1D(GlobalAddr base, size_t count) : base_(base), count_(count) {}
+
+  static GlobalArray1D Alloc(dsm::GlobalLayout& layout, size_t count, const std::string& name) {
+    return GlobalArray1D(layout.AllocPadded(count * sizeof(T), name), count);
+  }
+
+  size_t size() const { return count_; }
+  GlobalAddr addr(size_t i) const {
+    DFIL_DCHECK(i < count_);
+    return base_ + i * sizeof(T);
+  }
+
+  T Read(NodeEnv& env, size_t i) const { return env.Read<T>(addr(i)); }
+  void Write(NodeEnv& env, size_t i, const T& v) const { env.Write<T>(addr(i), v); }
+
+  // Blocking span access: faults in all pages covering [i, i+n), then returns a raw pointer
+  // (valid until the next potential suspension point).
+  T* Span(NodeEnv& env, size_t i, size_t n, dsm::AccessMode mode) const {
+    return reinterpret_cast<T*>(env.AccessBytes(addr(i), n * sizeof(T), mode));
+  }
+
+ private:
+  GlobalAddr base_ = 0;
+  size_t count_ = 0;
+};
+
+template <typename T>
+class GlobalArray2D {
+ public:
+  GlobalArray2D() = default;
+  GlobalArray2D(GlobalAddr base, size_t rows, size_t cols, size_t row_stride_bytes)
+      : base_(base), rows_(rows), cols_(cols), row_stride_(row_stride_bytes) {}
+
+  // When `pad_rows_to_pages` is true every row starts a fresh DSM page — the padding library
+  // routine of paper §3, which keeps per-row strips from sharing pages across nodes.
+  static GlobalArray2D Alloc(dsm::GlobalLayout& layout, size_t rows, size_t cols,
+                             bool pad_rows_to_pages, const std::string& name) {
+    size_t stride = cols * sizeof(T);
+    if (pad_rows_to_pages) {
+      const size_t ps = layout.page_size();
+      stride = ((stride + ps - 1) / ps) * ps;
+    }
+    GlobalAddr base = layout.AllocArray2D(rows, cols, sizeof(T), pad_rows_to_pages, name);
+    return GlobalArray2D(base, rows, cols, stride);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  GlobalAddr addr(size_t i, size_t j) const {
+    DFIL_DCHECK(i < rows_ && j < cols_);
+    return base_ + i * row_stride_ + j * sizeof(T);
+  }
+  GlobalAddr row_addr(size_t i) const { return base_ + i * row_stride_; }
+
+  T Read(NodeEnv& env, size_t i, size_t j) const { return env.Read<T>(addr(i, j)); }
+  void Write(NodeEnv& env, size_t i, size_t j, const T& v) const { env.Write<T>(addr(i, j), v); }
+
+  // Row access with a single fault check for the whole row.
+  const T* RowRead(NodeEnv& env, size_t i) const {
+    return reinterpret_cast<const T*>(
+        env.AccessBytes(row_addr(i), cols_ * sizeof(T), dsm::AccessMode::kRead));
+  }
+  T* RowWrite(NodeEnv& env, size_t i) const {
+    return reinterpret_cast<T*>(
+        env.AccessBytes(row_addr(i), cols_ * sizeof(T), dsm::AccessMode::kWrite));
+  }
+
+ private:
+  GlobalAddr base_ = 0;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t row_stride_ = 0;
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_GLOBAL_ARRAY_H_

@@ -1,0 +1,551 @@
+#include "src/core/node_runtime.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/core/forkjoin.h"
+#include "src/core/pool_engine.h"
+
+namespace dfil::core {
+namespace {
+
+// Attributes an idle gap to a breakdown category based on why the woken thread was blocked.
+TimeCategory ClassifyGap(const std::string& reason) {
+  if (reason.rfind("page", 0) == 0 || reason.rfind("recv", 0) == 0) {
+    return TimeCategory::kDataTransfer;
+  }
+  if (reason.rfind("reduce", 0) == 0 || reason.rfind("drain", 0) == 0 ||
+      reason.rfind("join", 0) == 0 || reason.rfind("fj", 0) == 0 ||
+      reason.rfind("call", 0) == 0 || reason.rfind("sweep", 0) == 0) {
+    return TimeCategory::kSyncDelay;
+  }
+  return TimeCategory::kIdle;
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* machine,
+                         const dsm::GlobalLayout* layout)
+    : id_(id),
+      config_(config),
+      machine_(machine),
+      threads_(config.backend, config.stack_bytes),
+      env_(this) {
+  packet_ = std::make_unique<net::PacketEndpoint>(
+      machine_, id_, config_.packet,
+      [this](TimeCategory c, SimTime t) { Charge(c, t); }, [this] { return clock_; });
+  packet_->in_critical_section = [this] { return in_critical_; };
+
+  dsm::DsmNode::Hooks hooks;
+  hooks.charge = [this](TimeCategory c, SimTime t) { Charge(c, t); };
+  hooks.clock = [this] { return clock_; };
+  hooks.current_thread = [this] { return threads_.current(); };
+  hooks.wake = [this](threads::ServerThread* t) { Wake(t); };
+  hooks.pre_block = [this](PageId page) {
+    // Let the engines react (start a server thread for another pool / another fj worker) before
+    // the faulting thread gives up the processor.
+    if (pools_) {
+      pools_->OnThreadBlockedOnPage(page);
+    }
+    if (fj_) {
+      fj_->OnWorkerBlocked();
+    }
+  };
+  hooks.block_current = [this] { BlockCurrent(); };
+  hooks.trace_fault_begin = [this](PageId page) {
+    TraceBegin("dsm", "fault p" + std::to_string(page));
+  };
+  hooks.trace_fault_end = [this] { TraceEnd(); };
+  hooks.fetches_drained = [this] {
+    if (drain_waiter_ != nullptr) {
+      threads::ServerThread* t = drain_waiter_;
+      drain_waiter_ = nullptr;
+      WakeAtTail(t);
+    }
+  };
+  dsm_ = std::make_unique<dsm::DsmNode>(id_, layout, packet_.get(), &machine_->costs(),
+                                        config_.dsm, std::move(hooks));
+  pools_ = std::make_unique<PoolEngine>(this);
+  fj_ = std::make_unique<FjEngine>(this);
+  RegisterReduceServices();
+
+  packet_->RegisterRawHandler(
+      net::Service::kAppData,
+      [this](NodeId src, net::Payload body) {
+        net::WireReader r(body);
+        const auto tag = r.Get<uint32_t>();
+        Channel& ch = channels_[{src, tag}];
+        ch.messages.emplace_back(r.Rest().begin(), r.Rest().end());
+        if (ch.waiter != nullptr) {
+          threads::ServerThread* t = ch.waiter;
+          ch.waiter = nullptr;
+          WakeAtTail(t);
+        }
+        if (any_channel_waiter_ != nullptr) {
+          threads::ServerThread* t = any_channel_waiter_;
+          any_channel_waiter_ = nullptr;
+          WakeAtTail(t);
+        }
+      },
+      TimeCategory::kDataTransfer);
+}
+
+NodeRuntime::~NodeRuntime() = default;
+
+void NodeRuntime::SetMain(std::function<void()> body) {
+  threads::ServerThread* main = threads_.Create([this, body = std::move(body)] {
+    body();
+    main_done_ = true;
+    main_finished_at_ = clock_;
+  });
+  ready_.PushBack(main);
+}
+
+void NodeRuntime::Step() {
+  threads::ServerThread* t = resume_first_;
+  if (t != nullptr) {
+    resume_first_ = nullptr;
+  } else {
+    t = ready_.PopFront();
+    if (t == nullptr) {
+      return;
+    }
+    // Switching server threads costs real time (paper Figure 9: 48.8 us on the Sun IPC).
+    Charge(TimeCategory::kFilamentExec, costs().thread_context_switch);
+  }
+  threads_.SwitchTo(t);
+  if (t->state() == threads::ThreadState::kDone) {
+    threads_.Recycle(t);
+  }
+}
+
+void NodeRuntime::AdvanceTo(SimTime t) {
+  if (t > clock_) {
+    pending_gap_ += t - clock_;
+    clock_ = t;
+  }
+}
+
+void NodeRuntime::OnDatagram(sim::Datagram d) { packet_->OnDatagram(std::move(d)); }
+
+void NodeRuntime::Charge(TimeCategory category, SimTime cost) {
+  DFIL_DCHECK(cost >= 0);
+  breakdown_.Add(category, cost);
+  if (threads_.current() == nullptr) {
+    // Handler (host) context: interrupt work simply extends the node's clock.
+    clock_ += cost;
+    return;
+  }
+  SimTime remaining = cost;
+  while (remaining > 0) {
+    // Yield both for due events and for the causality horizon: this node must not run ahead of
+    // other runnable nodes, or their sends would reach it (and reserve the shared medium) "in the
+    // past".
+    const SimTime limit = machine_->ChargeLimit(id_);
+    if (limit >= clock_ + remaining || limit == kSimTimeNever) {
+      clock_ += remaining;
+      return;
+    }
+    if (limit > clock_) {
+      remaining -= limit - clock_;
+      clock_ = limit;
+    }
+    YieldForEvent();
+  }
+}
+
+void NodeRuntime::YieldForEvent() {
+  threads::ServerThread* self = threads_.current();
+  DFIL_DCHECK(self != nullptr);
+  DFIL_CHECK(resume_first_ == nullptr);
+  // A thread may charge time after marking itself blocked but before suspending (e.g. the fault
+  // path spawns a replacement server thread first); preserve that state across the yield.
+  const threads::ThreadState prior = self->state();
+  resume_first_ = self;
+  self->set_state(threads::ThreadState::kReady);
+  threads_.SwitchToHost();
+  if (prior == threads::ThreadState::kBlocked) {
+    self->set_state(threads::ThreadState::kBlocked);
+  }
+}
+
+void NodeRuntime::BlockCurrent() {
+  threads::ServerThread* self = threads_.current();
+  DFIL_CHECK(self != nullptr);
+  DFIL_CHECK(self->state() == threads::ThreadState::kBlocked)
+      << "callers must set the blocked state and reason before BlockCurrent";
+  blocked_.push_back(self);
+  threads_.SwitchToHost();
+}
+
+// Page-arrival wake: placement follows the configured policy (paper: front = fork/join
+// anti-thrashing, tail = iterative frontloading). All other wake paths use WakeAtTail — FIFO —
+// or the ready queue degenerates into a LIFO that can starve resumed workers indefinitely.
+void NodeRuntime::Wake(threads::ServerThread* t) {
+  if (config_.wake_at_front) {
+    WakeAtFront(t);
+  } else {
+    WakeAtTail(t);
+  }
+}
+
+void NodeRuntime::WakeAtFront(threads::ServerThread* t) {
+  DFIL_CHECK(t->state() == threads::ThreadState::kBlocked);
+  for (size_t i = 0; i < blocked_.size(); ++i) {
+    if (blocked_[i] == t) {
+      blocked_.erase(blocked_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (pending_gap_ > 0) {
+    breakdown_.Add(ClassifyGap(t->block_reason()), pending_gap_);
+    pending_gap_ = 0;
+  }
+  t->set_state(threads::ThreadState::kReady);
+  ready_.PushFront(t);
+}
+
+void NodeRuntime::WakeAtTail(threads::ServerThread* t) {
+  DFIL_CHECK(t->state() == threads::ThreadState::kBlocked);
+  for (size_t i = 0; i < blocked_.size(); ++i) {
+    if (blocked_[i] == t) {
+      blocked_.erase(blocked_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  if (pending_gap_ > 0) {
+    breakdown_.Add(ClassifyGap(t->block_reason()), pending_gap_);
+    pending_gap_ = 0;
+  }
+  t->set_state(threads::ThreadState::kReady);
+  ready_.PushBack(t);
+}
+
+threads::ServerThread* NodeRuntime::SpawnThread(std::function<void()> body) {
+  DFIL_CHECK_LT(threads_.live_threads(), static_cast<size_t>(config_.max_server_threads))
+      << "node " << id_ << ": server thread limit reached";
+  Charge(TimeCategory::kFilamentExec, costs().thread_create);
+  threads::ServerThread* t = threads_.Create(std::move(body));
+  ready_.PushBack(t);
+  fil_stats_.server_threads_started++;
+  return t;
+}
+
+net::Payload NodeRuntime::CallService(NodeId dst, net::Service service, net::Payload body,
+                                      TimeCategory charge_as) {
+  threads::ServerThread* self = threads_.current();
+  DFIL_CHECK(self != nullptr) << "CallService requires a server thread";
+  struct CallState {
+    bool done = false;
+    net::Payload reply;
+  } state;
+  packet_->SendRequest(
+      dst, service, std::move(body),
+      [this, self, &state](net::Payload reply) {
+        state.reply = std::move(reply);
+        state.done = true;
+        if (self->state() == threads::ThreadState::kBlocked &&
+            self->block_reason().rfind("call", 0) == 0) {
+          WakeAtTail(self);
+        }
+      },
+      charge_as);
+  while (!state.done) {
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("call " + std::to_string(static_cast<int>(service)));
+    BlockCurrent();
+  }
+  return std::move(state.reply);
+}
+
+std::string NodeRuntime::DescribeBlocked() const {
+  std::ostringstream os;
+  os << "blocked: ";
+  if (blocked_.empty()) {
+    os << "(no blocked threads)";
+  }
+  for (const threads::ServerThread* t : blocked_) {
+    os << "[t" << t->id() << " " << t->block_reason() << "] ";
+  }
+  return os.str();
+}
+
+// --- Reductions ---------------------------------------------------------------------------------
+
+void NodeRuntime::RegisterReduceServices() {
+  packet_->RegisterService(
+      net::Service::kReduceUp,
+      [this](NodeId src, net::WireReader body) -> std::optional<net::Payload> {
+        const auto epoch = body.Get<uint64_t>();
+        const auto round = body.Get<int32_t>();
+        const auto value = body.Get<double>();
+        reduce_inbox_[{epoch, round, src}] = value;
+        if (reduce_waiter_ != nullptr) {
+          threads::ServerThread* t = reduce_waiter_;
+          reduce_waiter_ = nullptr;
+          WakeAtTail(t);
+        }
+        return net::Payload{};
+      },
+      /*idempotent=*/true);
+
+  auto handle_done = [this](net::WireReader body) {
+    const auto epoch = body.Get<uint64_t>();
+    const auto value = body.Get<double>();
+    reduce_done_[epoch] = value;
+    if (reduce_waiter_ != nullptr) {
+      threads::ServerThread* t = reduce_waiter_;
+      reduce_waiter_ = nullptr;
+      WakeAtTail(t);
+    }
+  };
+  packet_->RegisterRawHandler(net::Service::kReduceDone,
+                              [handle_done](NodeId, net::Payload body) {
+                                handle_done(net::WireReader(body));
+                              });
+  packet_->RegisterService(
+      net::Service::kReduceDone,
+      [handle_done](NodeId, net::WireReader body) -> std::optional<net::Payload> {
+        handle_done(body);
+        return net::Payload{};
+      },
+      /*idempotent=*/true);
+}
+
+double NodeRuntime::Combine(double a, double b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kBarrier:
+      return 0.0;
+    case ReduceOp::kSum:
+      return a + b;
+    case ReduceOp::kMax:
+      return a > b ? a : b;
+    case ReduceOp::kMin:
+      return a < b ? a : b;
+    case ReduceOp::kLogicalAnd:
+      return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case ReduceOp::kLogicalOr:
+      return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  DFIL_CHECK(false) << "bad reduce op";
+  return 0.0;
+}
+
+double NodeRuntime::WaitReduceUp(uint64_t epoch, int round, NodeId from) {
+  threads::ServerThread* self = threads_.current();
+  for (;;) {
+    auto it = reduce_inbox_.find({epoch, round, from});
+    if (it != reduce_inbox_.end()) {
+      const double v = it->second;
+      reduce_inbox_.erase(it);
+      return v;
+    }
+    DFIL_CHECK(reduce_waiter_ == nullptr);
+    reduce_waiter_ = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("reduce up e" + std::to_string(epoch));
+    BlockCurrent();
+  }
+}
+
+double NodeRuntime::WaitReduceDone(uint64_t epoch) {
+  threads::ServerThread* self = threads_.current();
+  for (;;) {
+    auto it = reduce_done_.find(epoch);
+    if (it != reduce_done_.end()) {
+      const double v = it->second;
+      reduce_done_.erase(it);
+      return v;
+    }
+    DFIL_CHECK(reduce_waiter_ == nullptr);
+    reduce_waiter_ = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("reduce done e" + std::to_string(epoch));
+    BlockCurrent();
+  }
+}
+
+void NodeRuntime::WaitForFetchDrain() {
+  threads::ServerThread* self = threads_.current();
+  while (dsm_->pending_fetches() > 0) {
+    DFIL_CHECK(drain_waiter_ == nullptr);
+    drain_waiter_ = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("drain");
+    BlockCurrent();
+  }
+}
+
+void NodeRuntime::SendReduceValue(NodeId dst, uint64_t epoch, int round, double value) {
+  net::WireWriter w;
+  w.Put(epoch);
+  w.Put(static_cast<int32_t>(round));
+  w.Put(value);
+  packet_->SendRequest(dst, net::Service::kReduceUp, w.Take(), nullptr,
+                       TimeCategory::kSyncOverhead);
+}
+
+// The paper's barrier (§4.5, [HFM88]): tournament ascent, single broadcast descent. O(p)
+// messages, O(log p) latency.
+double NodeRuntime::ReduceTournament(uint64_t epoch, double value, ReduceOp op) {
+  const int p = config_.nodes;
+  const NodeId r = id_;
+  double accum = value;
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int bit = 1 << k;
+    if ((r & bit) != 0) {
+      // Tournament loser: report our partial value to the winner and await dissemination.
+      SendReduceValue(r - bit, epoch, k, accum);
+      return WaitReduceDone(epoch);
+    }
+    if (r + bit < p) {
+      accum = Combine(accum, WaitReduceUp(epoch, k, r + bit), op);
+    }
+  }
+  DFIL_CHECK_EQ(r, 0);
+  net::WireWriter w;
+  w.Put(epoch);
+  w.Put(accum);
+  if (config_.reliable_broadcast) {
+    net::Payload body = w.Take();
+    for (NodeId n = 1; n < p; ++n) {
+      packet_->SendRequest(n, net::Service::kReduceDone, body, nullptr,
+                           TimeCategory::kSyncOverhead);
+    }
+  } else {
+    packet_->BroadcastRaw(net::Service::kReduceDone, w.Take(), TimeCategory::kSyncOverhead);
+  }
+  return accum;
+}
+
+// Dissemination barrier [HFM88]: ceil(log2 p) rounds; in round k node r sends to (r + 2^k) mod p
+// and receives from (r - 2^k) mod p. Every node holds the full combination after the last round —
+// no dissemination broadcast — at the price of O(p log p) messages.
+double NodeRuntime::ReduceDissemination(uint64_t epoch, double value, ReduceOp op) {
+  const int p = config_.nodes;
+  // With p a power of two, round k leaves node r holding the exact combination of the window
+  // (r - 2^k, r]; otherwise windows overlap and non-idempotent operators (sum) double-count.
+  DFIL_CHECK((p & (p - 1)) == 0 || op == ReduceOp::kBarrier || op == ReduceOp::kMax ||
+             op == ReduceOp::kMin || op == ReduceOp::kLogicalAnd || op == ReduceOp::kLogicalOr)
+      << "dissemination sum-reduction requires a power-of-two node count";
+  const NodeId r = id_;
+  double accum = value;
+  for (int k = 0; (1 << k) < p; ++k) {
+    const int dist = 1 << k;
+    const NodeId to = static_cast<NodeId>((r + dist) % p);
+    const NodeId from = static_cast<NodeId>((r - dist + p) % p);
+    SendReduceValue(to, epoch, k, accum);
+    accum = Combine(accum, WaitReduceUp(epoch, k, from), op);
+  }
+  return accum;
+}
+
+// Central barrier: everyone reports to node 0, which combines and broadcasts. The paper's
+// baseline to beat — the master's CPU serializes 2(p-1) message handlings.
+double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
+  const int p = config_.nodes;
+  if (id_ != 0) {
+    SendReduceValue(0, epoch, 0, value);
+    return WaitReduceDone(epoch);
+  }
+  double accum = value;
+  for (NodeId n = 1; n < p; ++n) {
+    accum = Combine(accum, WaitReduceUp(epoch, 0, n), op);
+  }
+  net::WireWriter w;
+  w.Put(epoch);
+  w.Put(accum);
+  if (config_.reliable_broadcast) {
+    net::Payload body = w.Take();
+    for (NodeId n = 1; n < p; ++n) {
+      packet_->SendRequest(n, net::Service::kReduceDone, body, nullptr,
+                           TimeCategory::kSyncOverhead);
+    }
+  } else {
+    packet_->BroadcastRaw(net::Service::kReduceDone, w.Take(), TimeCategory::kSyncOverhead);
+  }
+  return accum;
+}
+
+double NodeRuntime::Reduce(double value, ReduceOp op) {
+  DFIL_CHECK(threads_.current() != nullptr);
+  TraceBegin("sync", "reduce");
+  WaitForFetchDrain();
+  // A reduction is a synchronization point: implicit-invalidate drops read-only copies here,
+  // before any message is sent, which is why it needs no invalidation traffic (paper §3).
+  dsm_->AtSyncPoint();
+
+  const uint64_t epoch = ++reduce_epoch_;
+  double result = value;
+  if (config_.nodes > 1) {
+    switch (config_.barrier) {
+      case ClusterConfig::BarrierKind::kTournamentBroadcast:
+        result = ReduceTournament(epoch, value, op);
+        break;
+      case ClusterConfig::BarrierKind::kDissemination:
+        result = ReduceDissemination(epoch, value, op);
+        break;
+      case ClusterConfig::BarrierKind::kCentral:
+        result = ReduceCentral(epoch, value, op);
+        break;
+    }
+  }
+  TraceEnd();
+  return result;
+}
+
+// --- Channels ------------------------------------------------------------------------------------
+
+void NodeRuntime::ChannelSend(NodeId dst, uint32_t tag, std::span<const std::byte> bytes) {
+  net::WireWriter w;
+  w.Put(tag);
+  w.PutBytes(bytes.data(), bytes.size());
+  packet_->SendRaw(dst, net::Service::kAppData, w.Take(), TimeCategory::kDataTransfer);
+}
+
+void NodeRuntime::ChannelBroadcast(uint32_t tag, std::span<const std::byte> bytes) {
+  net::WireWriter w;
+  w.Put(tag);
+  w.PutBytes(bytes.data(), bytes.size());
+  packet_->BroadcastRaw(net::Service::kAppData, w.Take(), TimeCategory::kDataTransfer);
+}
+
+std::optional<std::vector<std::byte>> NodeRuntime::ChannelTryRecv(NodeId src, uint32_t tag) {
+  Channel& ch = channels_[{src, tag}];
+  if (ch.messages.empty()) {
+    return std::nullopt;
+  }
+  std::vector<std::byte> msg = std::move(ch.messages.front());
+  ch.messages.pop_front();
+  return msg;
+}
+
+void NodeRuntime::WaitAnyChannel() {
+  threads::ServerThread* self = threads_.current();
+  DFIL_CHECK(self != nullptr);
+  DFIL_CHECK(any_channel_waiter_ == nullptr);
+  any_channel_waiter_ = self;
+  self->set_state(threads::ThreadState::kBlocked);
+  self->set_block_reason("recv any");
+  BlockCurrent();
+}
+
+std::vector<std::byte> NodeRuntime::ChannelRecv(NodeId src, uint32_t tag) {
+  threads::ServerThread* self = threads_.current();
+  DFIL_CHECK(self != nullptr);
+  Channel& ch = channels_[{src, tag}];
+  while (ch.messages.empty()) {
+    DFIL_CHECK(ch.waiter == nullptr) << "two receivers on one channel";
+    ch.waiter = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("recv " + std::to_string(src) + ":" + std::to_string(tag));
+    BlockCurrent();
+  }
+  std::vector<std::byte> msg = std::move(ch.messages.front());
+  ch.messages.pop_front();
+  return msg;
+}
+
+}  // namespace dfil::core

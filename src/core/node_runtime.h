@@ -1,0 +1,202 @@
+// NodeRuntime: one simulated workstation running the Distributed Filaments kernel.
+//
+// Implements sim::NodeHost. Owns the node's server threads and their (non-preemptive, SR-style)
+// scheduler, the Packet endpoint, the DSM node, the pool engine (RTC/iterative filaments), the
+// fork/join engine, the tournament-reduction engine, and the explicit-message channels used by
+// the coarse-grain comparison programs.
+//
+// Scheduling contract: the Machine resumes this node via Step(), which switches into a server
+// thread; the thread gives the processor back when it blocks, finishes, or — mid-charge — when a
+// pending external event (message/timer) must be dispatched, in which case it is resumed first
+// afterwards (interrupt semantics: handlers run "under" the interrupted thread, which then
+// continues; no reschedule happens on an interrupt, the scheduler is non-preemptive).
+#ifndef DFIL_CORE_NODE_RUNTIME_H_
+#define DFIL_CORE_NODE_RUNTIME_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/intrusive_list.h"
+#include "src/common/stats.h"
+#include "src/common/trace.h"
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/node_env.h"
+#include "src/dsm/dsm_node.h"
+#include "src/net/packet.h"
+#include "src/sim/machine.h"
+#include "src/threads/server_thread.h"
+
+namespace dfil::core {
+
+class PoolEngine;
+class FjEngine;
+
+class NodeRuntime final : public sim::NodeHost {
+ public:
+  NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* machine,
+              const dsm::GlobalLayout* layout);
+  ~NodeRuntime() override;
+
+  // Installs the node's main program; it runs as the first server thread.
+  void SetMain(std::function<void()> body);
+
+  // --- sim::NodeHost ---
+  NodeId id() const override { return id_; }
+  SimTime Clock() const override { return clock_; }
+  bool Runnable() const override { return resume_first_ != nullptr || !ready_.empty(); }
+  bool Done() const override { return main_done_; }
+  void Step() override;
+  void AdvanceTo(SimTime t) override;
+  void OnDatagram(sim::Datagram d) override;
+  std::string DescribeBlocked() const override;
+
+  // --- Virtual time ---
+  // Advances this node's clock by `cost`, attributing it to `category`. When called from a server
+  // thread, yields to the machine whenever an external event falls due mid-charge, so message
+  // handlers interrupt computation at exact virtual times.
+  void Charge(TimeCategory category, SimTime cost);
+
+  // --- Scheduling primitives (used by the engines and by DSM/packet hooks) ---
+  // Suspends the current server thread; the caller has already recorded it on some wait queue and
+  // set its state/block reason. Returns when the thread is woken.
+  void BlockCurrent();
+  // Makes `t` runnable. Placement defaults to the configured wake policy (front = fork/join
+  // anti-thrashing; tail = iterative frontloading).
+  void Wake(threads::ServerThread* t);
+  void WakeAtFront(threads::ServerThread* t);
+  void WakeAtTail(threads::ServerThread* t);
+  // Creates a server thread running `body` and enqueues it (charges creation cost).
+  threads::ServerThread* SpawnThread(std::function<void()> body);
+  threads::ServerThread* CurrentThread() { return threads_.current(); }
+
+  // Sends a reliable request and blocks the calling server thread until the reply arrives.
+  net::Payload CallService(NodeId dst, net::Service service, net::Payload body,
+                           TimeCategory charge_as);
+
+  // --- Reductions (tournament with broadcast dissemination, paper §4.5 / [HFM88]) ---
+  double Reduce(double value, ReduceOp op);
+
+  // --- Explicit message channels (raw UDP semantics, for the CG programs) ---
+  void ChannelSend(NodeId dst, uint32_t tag, std::span<const std::byte> bytes);
+  void ChannelBroadcast(uint32_t tag, std::span<const std::byte> bytes);
+  std::vector<std::byte> ChannelRecv(NodeId src, uint32_t tag);
+  // Non-blocking receive (polling a UDP socket).
+  std::optional<std::vector<std::byte>> ChannelTryRecv(NodeId src, uint32_t tag);
+  // Blocks until any channel message arrives at this node (select()-style wait).
+  void WaitAnyChannel();
+
+  // --- Critical sections ---
+  void EnterCritical() { in_critical_ = true; }
+  void ExitCritical() { in_critical_ = false; }
+
+  // --- Tracing (no-ops unless ClusterConfig::trace_enabled) ---
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+  void TraceBegin(const char* category, std::string name) {
+    if (trace_ != nullptr) {
+      trace_->Begin(id_, CurrentTid(), category, std::move(name), clock_);
+    }
+  }
+  void TraceEnd() {
+    if (trace_ != nullptr) {
+      trace_->End(id_, CurrentTid(), clock_);
+    }
+  }
+  void TraceInstant(const char* category, std::string name) {
+    if (trace_ != nullptr) {
+      trace_->Instant(id_, CurrentTid(), category, std::move(name), clock_);
+    }
+  }
+
+  // --- Accessors ---
+  NodeEnv& env() { return env_; }
+  const ClusterConfig& config() const { return config_; }
+  sim::Machine& machine() { return *machine_; }
+  const sim::CostModel& costs() const { return machine_->costs(); }
+  dsm::DsmNode& dsm() { return *dsm_; }
+  net::PacketEndpoint& packet() { return *packet_; }
+  PoolEngine& pools() { return *pools_; }
+  FjEngine& fj() { return *fj_; }
+  threads::ThreadSystem& threads() { return threads_; }
+
+  TimeBreakdown& breakdown() { return breakdown_; }
+  FilamentStats& fil_stats() { return fil_stats_; }
+  SimTime main_finished_at() const { return main_finished_at_; }
+
+ private:
+  friend class PoolEngine;
+  friend class FjEngine;
+
+  // Charge() helper: returns to the machine so a due event can dispatch; resumes afterwards.
+  void YieldForEvent();
+
+  // Blocks the current thread until there are no outstanding page fetches (paper §3: nodes delay
+  // at synchronization points until all outstanding page requests are satisfied).
+  void WaitForFetchDrain();
+
+  // Reduction plumbing.
+  void RegisterReduceServices();
+  void SendReduceValue(NodeId dst, uint64_t epoch, int round, double value);
+  double WaitReduceUp(uint64_t epoch, int round, NodeId from);
+  double WaitReduceDone(uint64_t epoch);
+  double ReduceTournament(uint64_t epoch, double value, ReduceOp op);
+  double ReduceDissemination(uint64_t epoch, double value, ReduceOp op);
+  double ReduceCentral(uint64_t epoch, double value, ReduceOp op);
+  static double Combine(double a, double b, ReduceOp op);
+
+  NodeId id_;
+  ClusterConfig config_;
+  sim::Machine* machine_;
+  SimTime clock_ = 0;
+  SimTime pending_gap_ = 0;  // idle time awaiting classification at the next wake
+  bool main_done_ = false;
+  SimTime main_finished_at_ = 0;
+  bool in_critical_ = false;
+
+  threads::ThreadSystem threads_;
+  IntrusiveList<threads::ServerThread, &threads::ServerThread::queue_link> ready_;
+  threads::ServerThread* resume_first_ = nullptr;  // mid-charge thread, resumed before any other
+  std::vector<threads::ServerThread*> blocked_;    // bookkeeping for deadlock reports
+
+  std::unique_ptr<net::PacketEndpoint> packet_;
+  std::unique_ptr<dsm::DsmNode> dsm_;
+  std::unique_ptr<PoolEngine> pools_;
+  std::unique_ptr<FjEngine> fj_;
+  NodeEnv env_;
+
+  // Reduction state.
+  uint64_t reduce_epoch_ = 0;
+  // (epoch, round, sender) -> value received for this reduction step.
+  std::map<std::tuple<uint64_t, int, NodeId>, double> reduce_inbox_;
+  std::map<uint64_t, double> reduce_done_;                   // epoch -> disseminated result
+  threads::ServerThread* reduce_waiter_ = nullptr;
+  threads::ServerThread* drain_waiter_ = nullptr;
+
+  // Channels: (src, tag) -> queued payloads / waiting receiver.
+  struct Channel {
+    std::deque<std::vector<std::byte>> messages;
+    threads::ServerThread* waiter = nullptr;
+  };
+  std::map<std::pair<NodeId, uint32_t>, Channel> channels_;
+  threads::ServerThread* any_channel_waiter_ = nullptr;
+
+  uint64_t CurrentTid() {
+    threads::ServerThread* t = threads_.current();
+    return t != nullptr ? t->id() : 0;
+  }
+
+  TraceRecorder* trace_ = nullptr;
+  TimeBreakdown breakdown_;
+  FilamentStats fil_stats_;
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_NODE_RUNTIME_H_

@@ -1,0 +1,274 @@
+#include "src/core/pool_engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/core/node_runtime.h"
+
+namespace dfil::core {
+
+int PoolEngine::CreatePool() {
+  const int id = static_cast<int>(pools_.size());
+  pools_.push_back(std::make_unique<Pool>(id));
+  return id;
+}
+
+void PoolEngine::AddFilament(int pool, FilamentFn fn, int64_t a0, int64_t a1, int64_t a2) {
+  DFIL_CHECK_GE(pool, 0);
+  DFIL_CHECK_LT(static_cast<size_t>(pool), pools_.size());
+  DFIL_CHECK(!sweep_active_) << "cannot create filaments during a sweep";
+  Pool& p = *pools_[pool];
+  p.filaments.push_back(Filament{fn, a0, a1, a2});
+  p.patterns_valid = false;
+  rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().filament_create);
+  rt_->fil_stats().filaments_created++;
+}
+
+void PoolEngine::AddAutoFilament(FilamentFn fn, int64_t a0, int64_t a1, int64_t a2) {
+  if (auto_pool_ < 0) {
+    auto_pool_ = CreatePool();
+    pools_[auto_pool_]->auto_profile = true;
+  }
+  AddFilament(auto_pool_, fn, a0, a1, a2);
+}
+
+void PoolEngine::BuildPatterns(Pool* pool) {
+  // Greedy run detection: extend a strip while the code pointer matches and the three argument
+  // words advance by the deltas observed between the first two descriptors.
+  pool->strips.clear();
+  const std::vector<Filament>& f = pool->filaments;
+  size_t i = 0;
+  while (i < f.size()) {
+    Strip s{f[i].fn, f[i].a0, f[i].a1, f[i].a2, 0, 0, 0, 1};
+    size_t j = i + 1;
+    if (j < f.size() && f[j].fn == s.fn) {
+      s.d0 = f[j].a0 - f[i].a0;
+      s.d1 = f[j].a1 - f[i].a1;
+      s.d2 = f[j].a2 - f[i].a2;
+      while (j < f.size() && f[j].fn == s.fn &&
+             f[j].a0 == s.a0 + static_cast<int64_t>(j - i) * s.d0 &&
+             f[j].a1 == s.a1 + static_cast<int64_t>(j - i) * s.d1 &&
+             f[j].a2 == s.a2 + static_cast<int64_t>(j - i) * s.d2) {
+        ++j;
+      }
+      s.count = static_cast<int64_t>(j - i);
+    }
+    pool->strips.push_back(s);
+    i = j > i + 1 ? j : i + 1;
+  }
+  pool->patterns_valid = true;
+}
+
+void PoolEngine::RunSweep() {
+  DFIL_CHECK(!sweep_active_);
+  threads::ServerThread* self = rt_->CurrentThread();
+  DFIL_CHECK(self != nullptr) << "RunSweep must run on a server thread";
+  if (pools_.empty()) {
+    return;
+  }
+
+  // Frontloading: if the previous sweep completed, run pools in reverse completion order — the
+  // pools that faulted finished last, so their faults are issued first this time (paper §2.2).
+  order_.clear();
+  if (finish_stack_.size() == pools_.size()) {
+    order_.assign(finish_stack_.rbegin(), finish_stack_.rend());
+  } else {
+    for (const auto& p : pools_) {
+      order_.push_back(p.get());
+    }
+  }
+  last_order_ids_.clear();
+  for (Pool* p : order_) {
+    last_order_ids_.push_back(p->id);
+  }
+  finish_stack_.clear();
+
+  int total_filaments = 0;
+  for (Pool* p : order_) {
+    p->running = false;
+    p->completed = false;
+    p->faulted_this_sweep = false;
+    total_filaments += static_cast<int>(p->filaments.size());
+  }
+  next_pool_ = 0;
+  pools_remaining_ = static_cast<int>(order_.size());
+  if (total_filaments == 0) {
+    pools_remaining_ = 0;
+    return;
+  }
+  sweep_active_ = true;
+  spare_runners_ = 0;
+  EnsureRunnerForRemainingPools();
+
+  while (pools_remaining_ > 0) {
+    DFIL_CHECK(sweep_waiter_ == nullptr);
+    sweep_waiter_ = self;
+    self->set_state(threads::ThreadState::kBlocked);
+    self->set_block_reason("sweep");
+    rt_->BlockCurrent();
+  }
+  sweep_waiter_ = nullptr;
+  sweep_active_ = false;
+  RepartitionAutoPools();
+}
+
+void PoolEngine::RepartitionAutoPools() {
+  // Adaptive pool assignment (paper §2.2 future work): cluster filaments by the page they fault
+  // on. The profiling pool stays in profiling mode across sweeps and migrates newly-faulting
+  // filaments into per-page pools incrementally — within one sweep only the FIRST filament to
+  // touch a missing page faults (the fetch satisfies its neighbours), so convergence to the full
+  // edge pools takes a few sweeps under implicit-invalidate's per-sweep re-faulting.
+  if (auto_pool_ < 0) {
+    return;
+  }
+  Pool& src = *pools_[auto_pool_];
+  if (!src.auto_profile || src.fault_profile.empty()) {
+    return;
+  }
+  // Widen each fault to the whole pattern-recognized strip containing it: filaments of one strip
+  // walk adjacent addresses, so they overwhelmingly share pages — the same observation that
+  // powers the inlined execution path. This moves a faulting edge ROW at once instead of one
+  // filament per sweep.
+  if (!src.patterns_valid) {
+    BuildPatterns(&src);
+  }
+  std::vector<std::pair<int64_t, int64_t>> strip_bounds;  // [start, end) ordinals per strip
+  int64_t start = 0;
+  for (const Strip& strip : src.strips) {
+    strip_bounds.emplace_back(start, start + strip.count);
+    start += strip.count;
+  }
+  auto strip_of = [&](int64_t ordinal) {
+    for (size_t k = 0; k < strip_bounds.size(); ++k) {
+      if (ordinal >= strip_bounds[k].first && ordinal < strip_bounds[k].second) {
+        return k;
+      }
+    }
+    return strip_bounds.size();
+  };
+  std::map<size_t, uint32_t> strip_page;  // strip index -> first faulted page
+  for (const auto& [ordinal, page] : src.fault_profile) {
+    strip_page.emplace(strip_of(ordinal), page);
+  }
+  src.fault_profile.clear();
+
+  std::vector<Filament> quiet;
+  bool moved = false;
+  for (size_t k = 0; k < strip_bounds.size(); ++k) {
+    auto it = strip_page.find(k);
+    if (it == strip_page.end()) {
+      for (int64_t i = strip_bounds[k].first; i < strip_bounds[k].second; ++i) {
+        quiet.push_back(src.filaments[static_cast<size_t>(i)]);
+      }
+      continue;
+    }
+    moved = true;
+    auto [pool_it, created] = auto_page_pools_.try_emplace(it->second, -1);
+    if (created) {
+      pool_it->second = CreatePool();
+    }
+    Pool& dst = *pools_[pool_it->second];
+    for (int64_t i = strip_bounds[k].first; i < strip_bounds[k].second; ++i) {
+      dst.filaments.push_back(src.filaments[static_cast<size_t>(i)]);
+    }
+    dst.patterns_valid = false;
+  }
+  if (moved) {
+    src.filaments = std::move(quiet);
+    src.patterns_valid = false;
+    finish_stack_.clear();  // pool set changed: restart frontloading from creation order
+  }
+}
+
+void PoolEngine::RunIterative(const std::function<bool(int)>& after_iteration) {
+  for (int iter = 0;; ++iter) {
+    RunSweep();
+    if (!after_iteration(iter)) {
+      return;
+    }
+  }
+}
+
+void PoolEngine::EnsureRunnerForRemainingPools() {
+  if (next_pool_ >= order_.size() || spare_runners_ > 0) {
+    return;
+  }
+  ++spare_runners_;
+  rt_->SpawnThread([this] { RunnerLoop(); });
+}
+
+void PoolEngine::RunnerLoop() {
+  bool counted_spare = true;
+  for (;;) {
+    if (next_pool_ >= order_.size()) {
+      break;
+    }
+    if (counted_spare) {
+      --spare_runners_;
+      counted_spare = false;
+    }
+    Pool* pool = order_[next_pool_++];
+    pool->running = true;
+    running_pool_[rt_->CurrentThread()] = RunnerPosition{pool, 0};
+    rt_->TraceBegin("pool", "pool " + std::to_string(pool->id));
+    ExecutePool(pool);
+    rt_->TraceEnd();
+    running_pool_.erase(rt_->CurrentThread());
+    pool->running = false;
+    pool->completed = true;
+    finish_stack_.push_back(pool);
+    if (--pools_remaining_ == 0 && sweep_waiter_ != nullptr) {
+      threads::ServerThread* waiter = sweep_waiter_;
+      sweep_waiter_ = nullptr;
+      rt_->Wake(waiter);
+    }
+  }
+  if (counted_spare) {
+    --spare_runners_;
+  }
+}
+
+void PoolEngine::ExecutePool(Pool* pool) {
+  if (!pool->patterns_valid) {
+    BuildPatterns(pool);
+  }
+  const sim::CostModel& costs = rt_->costs();
+  FilamentStats& fs = rt_->fil_stats();
+  NodeEnv& env = rt_->env();
+  RunnerPosition& pos = running_pool_[rt_->CurrentThread()];
+  int64_t ordinal = 0;
+  for (const Strip& s : pool->strips) {
+    const bool inlined = s.count >= kMinStripLength;
+    const SimTime per_filament = inlined ? costs.filament_switch_inlined : costs.filament_switch;
+    for (int64_t k = 0; k < s.count; ++k) {
+      pos.ordinal = ordinal++;
+      rt_->Charge(TimeCategory::kFilamentExec, per_filament);
+      fs.filaments_run++;
+      if (inlined) {
+        fs.filaments_run_inlined++;
+      }
+      s.fn(env, s.a0 + k * s.d0, s.a1 + k * s.d1, s.a2 + k * s.d2);
+    }
+  }
+}
+
+void PoolEngine::OnThreadBlockedOnPage(PageId page) {
+  if (!sweep_active_) {
+    return;
+  }
+  auto it = running_pool_.find(rt_->CurrentThread());
+  if (it == running_pool_.end()) {
+    return;  // not a pool runner (e.g. the main thread faulting during initialization)
+  }
+  Pool* pool = it->second.pool;
+  pool->faulted_this_sweep = true;
+  if (pool->auto_profile) {
+    pool->fault_profile.emplace_back(it->second.ordinal, page);
+  }
+  rt_->fil_stats().pool_suspensions++;
+  // The paper's key move: a fault starts a new server thread on a different pool, so the page
+  // round-trip is overlapped with the execution of other filaments.
+  EnsureRunnerForRemainingPools();
+}
+
+}  // namespace dfil::core

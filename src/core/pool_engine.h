@@ -1,0 +1,88 @@
+// PoolEngine: executes RTC and iterative filaments through pools (paper §2.2).
+//
+// A sweep runs every pool's filaments exactly once. Pools are executed by server threads; when a
+// filament faults, its whole pool is suspended with the faulting thread and a fresh server thread
+// starts on the next pool, overlapping the page fetch with useful computation. For iterative
+// programs the engine frontloads faults: pools are run in the reverse order of the previous
+// sweep's completion (a pool that faulted finishes late, so it runs first next time), and threads
+// enabled by a page arrival are placed at the tail of the ready queue.
+//
+// Before executing, a pool's filament list is pattern-matched into contiguous strips (same code
+// pointer, affine argument steps). Strips execute through a tight loop that generates arguments
+// directly — the paper's run-time pattern recognition — at the cheaper inlined-switch cost.
+#ifndef DFIL_CORE_POOL_ENGINE_H_
+#define DFIL_CORE_POOL_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/filament.h"
+#include "src/threads/server_thread.h"
+
+namespace dfil::core {
+
+class NodeRuntime;
+
+class PoolEngine {
+ public:
+  explicit PoolEngine(NodeRuntime* rt) : rt_(rt) {}
+
+  int CreatePool();
+  int num_pools() const { return static_cast<int>(pools_.size()); }
+  void AddFilament(int pool, FilamentFn fn, int64_t a0, int64_t a1, int64_t a2);
+
+  // Adaptive pool assignment (paper §2.2 future work): filaments added here start in one
+  // profiling pool; after the first sweep they are re-clustered into one pool per first-faulted
+  // page plus a pool of non-faulting filaments, restoring communication/computation overlap
+  // without any manual pool choice.
+  void AddAutoFilament(FilamentFn fn, int64_t a0, int64_t a1, int64_t a2);
+
+  // Runs one sweep over all pools; blocks the calling (main) thread until every filament ran.
+  void RunSweep();
+
+  // Runs sweeps until `after_iteration` returns false. `after_iteration` executes on the calling
+  // thread after each sweep and must contain the iteration's synchronization point.
+  void RunIterative(const std::function<bool(int iter)>& after_iteration);
+
+  // Runtime hook: the current server thread is about to suspend on a page fault.
+  void OnThreadBlockedOnPage(PageId page);
+
+  // Execution order of the most recent sweep (pool ids), for frontloading tests.
+  const std::vector<int>& last_sweep_order() const { return last_order_ids_; }
+
+ private:
+  void RunnerLoop();
+  void ExecutePool(Pool* pool);
+  static void BuildPatterns(Pool* pool);
+  void EnsureRunnerForRemainingPools();
+  // Splits profiled auto pools into per-page pools after the sweep.
+  void RepartitionAutoPools();
+
+  NodeRuntime* rt_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+
+  // Sweep state.
+  bool sweep_active_ = false;
+  std::vector<Pool*> order_;
+  std::vector<int> last_order_ids_;
+  size_t next_pool_ = 0;
+  int pools_remaining_ = 0;
+  std::vector<Pool*> finish_stack_;  // completion order; reversed, it frontloads the next sweep
+  threads::ServerThread* sweep_waiter_ = nullptr;
+  int spare_runners_ = 0;  // spawned runners that have not picked a pool yet
+  struct RunnerPosition {
+    Pool* pool = nullptr;
+    int64_t ordinal = 0;  // index of the filament currently executing (profiling key)
+  };
+  std::map<threads::ServerThread*, RunnerPosition> running_pool_;
+  int auto_pool_ = -1;
+  std::map<uint32_t, int> auto_page_pools_;  // faulted page -> pool id
+};
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_POOL_ENGINE_H_

@@ -1,0 +1,375 @@
+#include "src/dsm/dsm_node.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace dfil::dsm {
+namespace {
+
+constexpr uint8_t kReplyOk = 0;
+constexpr uint8_t kReplyRedirect = 1;
+
+struct RequestBody {
+  PageId page;
+  AccessMode mode;
+};
+
+struct ReplyHeader {
+  uint8_t status;
+  NodeId owner_hint;       // redirect target, or the replying owner for data replies
+  uint8_t grants_ownership;
+  uint16_t npages;
+};
+
+struct PageBlockHeader {
+  PageId page;
+  uint64_t copyset;
+};
+
+uint64_t Bit(NodeId n) { return uint64_t{1} << n; }
+
+}  // namespace
+
+DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* packet,
+                 const sim::CostModel* costs, const DsmConfig& config, Hooks hooks)
+    : self_(self),
+      layout_(layout),
+      packet_(packet),
+      costs_(costs),
+      config_(config),
+      hooks_(std::move(hooks)),
+      replica_(layout->region_bytes()),
+      table_(layout->num_pages()) {
+  DFIL_CHECK(layout->sealed());
+  DFIL_CHECK_LT(self_, 64) << "copysets are 64-bit masks";
+  for (PageId p = 0; p < table_.size(); ++p) {
+    PageEntry& e = table_[p];
+    e.probable_owner = layout->InitialOwner(p);
+    if (e.probable_owner == self_) {
+      e.state = PageState::kReadWrite;
+      e.owner = true;
+    }
+    // Grouped pages must share an initial owner, since they always move together.
+    DFIL_CHECK_EQ(layout->InitialOwner(layout->GroupPagesOf(p).front()), e.probable_owner);
+  }
+
+  packet_->RegisterService(
+      net::Service::kPageRequest,
+      [this](NodeId src, net::WireReader body) { return ServePageRequest(src, body); },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
+  packet_->RegisterService(
+      net::Service::kInvalidate,
+      [this](NodeId src, net::WireReader body) { return ServeInvalidate(src, body); },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
+}
+
+std::byte* DsmNode::TryAccess(GlobalAddr addr, size_t len, AccessMode mode) {
+  DFIL_DCHECK(len > 0);
+  DFIL_DCHECK(addr + len <= replica_.size());
+  const PageId first = layout_->PageOf(addr);
+  const PageId last = layout_->PageOf(addr + len - 1);
+  for (PageId p = first; p <= last; ++p) {
+    if (!PagePresent(table_[p], mode)) {
+      return nullptr;
+    }
+  }
+  return replica_.data() + addr;
+}
+
+std::byte* DsmNode::Access(GlobalAddr addr, size_t len, AccessMode mode) {
+  for (;;) {
+    const PageId first = layout_->PageOf(addr);
+    const PageId last = layout_->PageOf(addr + len - 1);
+    PageId missing = kNoPage;
+    for (PageId p = first; p <= last; ++p) {
+      if (!PagePresent(table_[p], mode)) {
+        missing = p;
+        break;
+      }
+    }
+    if (missing == kNoPage) {
+      return replica_.data() + addr;
+    }
+    FaultAndWait(missing, mode);
+  }
+}
+
+void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
+  PageEntry& e = table_[page];
+  if (mode == AccessMode::kRead) {
+    stats_.read_faults++;
+  } else {
+    stats_.write_faults++;
+  }
+  hooks_.charge(TimeCategory::kDataTransfer, costs_->fault_handle);
+
+  const bool upgrade_as_owner = config_.pcp == Pcp::kWriteInvalidate && e.owner &&
+                                e.state == PageState::kReadOnly && mode == AccessMode::kWrite;
+  if (upgrade_as_owner && !e.fetching) {
+    // We own the page but downgraded to read-only for other readers; invalidate their copies and
+    // upgrade in place — no page request needed.
+    e.fetching = true;
+    e.fetch_mode = AccessMode::kWrite;
+    ++pending_fetches_;
+    const uint64_t targets = e.copyset & ~Bit(self_);
+    StartInvalidations(page, targets);
+  } else if (!e.fetching) {
+    e.fetching = true;
+    e.fetch_mode = mode;
+    ++pending_fetches_;
+    SendPageRequest(page, mode, e.probable_owner);
+  }
+  // If a fetch is already outstanding (even a weaker read fetch), simply wait: Access() rechecks
+  // on wake-up and re-faults with the stronger mode if still insufficient.
+
+  // Let the engines start a replacement server thread BEFORE this thread is queued as a waiter:
+  // the spawn charges time and may yield, and the page could arrive during that yield — waking a
+  // queued-but-still-running thread would corrupt the scheduler.
+  if (hooks_.pre_block) {
+    hooks_.pre_block(page);
+  }
+  if (PagePresent(e, mode) || !e.fetching) {
+    // Resolved (or the fetch settled with a weaker mode) while the engines reacted; Access()
+    // re-checks and re-faults as needed.
+    return;
+  }
+  threads::ServerThread* t = hooks_.current_thread();
+  DFIL_CHECK(t != nullptr) << "DSM fault outside a server thread";
+  if (hooks_.trace_fault_begin) {
+    hooks_.trace_fault_begin(page);
+  }
+  t->set_state(threads::ThreadState::kBlocked);
+  t->set_block_reason("page " + std::to_string(page));
+  e.waiters.PushBack(t);
+  hooks_.block_current();
+  if (hooks_.trace_fault_end) {
+    hooks_.trace_fault_end();
+  }
+}
+
+void DsmNode::StartInvalidations(PageId page, uint64_t targets) {
+  PageEntry& e = table_[page];
+  e.pending_invalidate_acks = std::popcount(targets);
+  if (e.pending_invalidate_acks == 0) {
+    FinishFetch(page, PageState::kReadWrite, /*ownership=*/true);
+    return;
+  }
+  for (NodeId n = 0; n < 64; ++n) {
+    if ((targets & Bit(n)) == 0) {
+      continue;
+    }
+    net::WireWriter w;
+    w.Put(page);
+    stats_.invalidations_sent++;
+    packet_->SendRequest(
+        n, net::Service::kInvalidate, w.Take(),
+        [this, page](net::Payload) {
+          PageEntry& entry = table_[page];
+          DFIL_CHECK_GT(entry.pending_invalidate_acks, 0);
+          if (--entry.pending_invalidate_acks == 0) {
+            FinishFetch(page, PageState::kReadWrite, /*ownership=*/true);
+          }
+        },
+        TimeCategory::kDataTransfer);
+  }
+}
+
+void DsmNode::SendPageRequest(PageId page, AccessMode mode, NodeId target) {
+  DFIL_CHECK_NE(target, self_) << "owner hint points at self on a fault (page " << page << ")";
+  net::WireWriter w;
+  w.Put(RequestBody{page, mode});
+  packet_->SendRequest(
+      target, net::Service::kPageRequest, w.Take(),
+      [this, page, mode, target](net::Payload reply) {
+        (void)target;
+        OnPageReply(page, mode, std::move(reply));
+      },
+      TimeCategory::kDataTransfer);
+}
+
+std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReader body) {
+  const auto req = body.Get<RequestBody>();
+  PageEntry& e = table_[req.page];
+
+  if (e.fetching) {
+    // This page table entry is in transition: either we are mid-upgrade (invalidation acks
+    // outstanding — serving a transfer now would create a second owner), or we are fetching and
+    // our chase hint may point right back at the requester. Ignore the request; the requester's
+    // retransmission retries once our fetch settles (the paper's deferred-servicing pattern).
+    stats_.fetch_deferrals++;
+    return std::nullopt;
+  }
+
+  if (e.owner) {
+    const bool transfers = config_.pcp == Pcp::kMigratory || req.mode == AccessMode::kWrite;
+    if (transfers && config_.mirage_window > 0 && hooks_.clock() < e.hold_until) {
+      // Mirage hold window: ignore the request; the requester's retransmission will retry.
+      stats_.mirage_deferrals++;
+      return std::nullopt;
+    }
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
+    stats_.page_requests_served++;
+
+    if (!transfers) {
+      // Read copy. Under write-invalidate the owner downgrades and tracks the copy; under
+      // implicit-invalidate the copy is untracked (it dies at the reader's next sync point).
+      if (config_.pcp == Pcp::kWriteInvalidate) {
+        for (PageId p : layout_->GroupPagesOf(req.page)) {
+          table_[p].state = PageState::kReadOnly;
+          table_[p].copyset |= Bit(src);
+        }
+      }
+      return BuildDataReply(req.page, /*transfer_ownership=*/false, /*include_copyset=*/false);
+    }
+
+    // Ownership transfer (migratory always; write faults otherwise).
+    net::Payload reply = BuildDataReply(req.page, /*transfer_ownership=*/true,
+                                        /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate);
+    for (PageId p : layout_->GroupPagesOf(req.page)) {
+      PageEntry& ge = table_[p];
+      ge.granted_to = src;
+      ge.grant_copyset = ge.copyset;
+      ge.state = PageState::kInvalid;
+      ge.owner = false;
+      ge.copyset = 0;
+      ge.probable_owner = src;
+    }
+    return reply;
+  }
+
+  if (e.granted_to == src && e.state == PageState::kInvalid && !e.owner) {
+    // The requester never saw our earlier transfer reply (it was lost); re-serve the identical
+    // transfer from the stale frame. This keeps page replies unbuffered yet loss-safe.
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
+    stats_.page_requests_served++;
+    return BuildDataReply(req.page, /*transfer_ownership=*/true,
+                          /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate,
+                          /*from_grant=*/true);
+  }
+
+  // Not the owner: redirect the requester along the probable-owner chain.
+  hooks_.charge(TimeCategory::kDataTransfer, costs_->page_redirect);
+  stats_.page_forwards++;
+  net::WireWriter w;
+  w.Put(ReplyHeader{kReplyRedirect, e.probable_owner, 0, 0});
+  return w.Take();
+}
+
+net::Payload DsmNode::BuildDataReply(PageId page, bool transfer_ownership, bool include_copyset,
+                                     bool from_grant) {
+  const std::vector<PageId> group = layout_->GroupPagesOf(page);
+  net::WireWriter w;
+  w.Put(ReplyHeader{kReplyOk, self_, static_cast<uint8_t>(transfer_ownership),
+                    static_cast<uint16_t>(group.size())});
+  const size_t ps = layout_->page_size();
+  for (PageId p : group) {
+    const PageEntry& e = table_[p];
+    const uint64_t copyset = include_copyset ? (from_grant ? e.grant_copyset : e.copyset) : 0;
+    w.Put(PageBlockHeader{p, copyset});
+    w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
+  }
+  return w.Take();
+}
+
+void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
+  net::WireReader r(reply);
+  const auto h = r.Get<ReplyHeader>();
+  PageEntry& e = table_[page];
+  DFIL_CHECK(e.fetching) << "page reply for a page we are not fetching";
+
+  if (h.status == kReplyRedirect) {
+    DFIL_CHECK_NE(h.owner_hint, self_) << "redirected to self for page " << page;
+    for (PageId p : layout_->GroupPagesOf(page)) {
+      table_[p].probable_owner = h.owner_hint;
+    }
+    SendPageRequest(page, mode, h.owner_hint);
+    return;
+  }
+
+  // Install the data for every page in the reply (the whole group).
+  const size_t ps = layout_->page_size();
+  uint64_t copyset = 0;
+  for (uint16_t i = 0; i < h.npages; ++i) {
+    const auto block = r.Get<PageBlockHeader>();
+    r.GetBytes(replica_.data() + (static_cast<GlobalAddr>(block.page) << layout_->page_shift()),
+               ps);
+    copyset |= block.copyset;
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_install);
+  }
+
+  if (h.grants_ownership != 0 && config_.pcp == Pcp::kWriteInvalidate &&
+      mode == AccessMode::kWrite) {
+    // Invalidate every other read copy before the write proceeds.
+    const uint64_t targets = copyset & ~Bit(self_);
+    StartInvalidations(page, targets);
+    return;
+  }
+
+  if (h.grants_ownership != 0) {
+    FinishFetch(page, PageState::kReadWrite, /*ownership=*/true);
+  } else {
+    for (PageId p : layout_->GroupPagesOf(page)) {
+      table_[p].probable_owner = h.owner_hint;
+    }
+    FinishFetch(page, PageState::kReadOnly, /*ownership=*/false);
+  }
+}
+
+void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
+  for (PageId p : layout_->GroupPagesOf(page)) {
+    PageEntry& e = table_[p];
+    e.state = new_state;
+    e.owner = ownership;
+    e.fetching = false;
+    e.pending_invalidate_acks = 0;
+    e.hold_until = hooks_.clock() + config_.mirage_window;
+    e.granted_to = kNoNode;
+    e.grant_copyset = 0;
+    if (ownership) {
+      e.probable_owner = self_;
+      e.copyset = 0;
+    }
+    while (threads::ServerThread* t = e.waiters.PopFront()) {
+      hooks_.wake(t);
+    }
+  }
+  DFIL_CHECK_GT(pending_fetches_, 0);
+  if (--pending_fetches_ == 0 && hooks_.fetches_drained) {
+    hooks_.fetches_drained();
+  }
+}
+
+std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader body) {
+  (void)src;
+  const auto page = body.Get<PageId>();
+  hooks_.charge(TimeCategory::kDataTransfer, costs_->invalidate_handle);
+  stats_.invalidations_received++;
+  for (PageId p : layout_->GroupPagesOf(page)) {
+    PageEntry& e = table_[p];
+    DFIL_CHECK(!e.owner) << "owner received an invalidation for page " << p;
+    if (e.state == PageState::kReadOnly) {
+      e.state = PageState::kInvalid;
+    }
+  }
+  return net::Payload{};  // empty ack
+}
+
+void DsmNode::AtSyncPoint() {
+  if (config_.pcp != Pcp::kImplicitInvalidate) {
+    return;
+  }
+  // Implicit invalidation: read-only copies have a very short lifetime — they die, without any
+  // message traffic, at every synchronization point (paper §3).
+  for (PageEntry& e : table_) {
+    if (!e.owner && e.state == PageState::kReadOnly && !e.fetching) {
+      e.state = PageState::kInvalid;
+      stats_.implicit_invalidations++;
+    }
+  }
+}
+
+}  // namespace dfil::dsm

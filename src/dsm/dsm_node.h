@@ -1,0 +1,185 @@
+// Per-node engine of the multi-threaded distributed shared memory (paper §3).
+//
+// Each node holds a full replica of the shared region plus a page table. Access goes through
+// Access()/TryAccess(): when a page is missing or under-privileged the calling server thread is
+// suspended on the page's waiter queue and a page request goes out through Packet; meanwhile the
+// runtime runs other server threads, which is how DF overlaps communication with computation.
+// Message handlers (page requests, replies, invalidations) run asynchronously — the SIGIO analog —
+// and never block.
+//
+// Three page consistency protocols are implemented (paper §3):
+//  * kMigratory        — one copy; the page (and ownership) moves to any requester.
+//  * kWriteInvalidate  — replicated read-only copies; a writer acquires ownership and explicitly
+//                        invalidates every copy in the owner-maintained copyset before writing.
+//  * kImplicitInvalidate — like write-invalidate, but read-only copies are implicitly discarded by
+//                        their holders at every synchronization point, so no invalidation messages
+//                        exist. Correct only for regular programs with a stable sharing pattern.
+//
+// Ownership is located by probable-owner forwarding: a request sent to a stale owner is answered
+// with a redirect carrying a better hint, and the requester chases the chain (each transfer
+// updates hints, so chains stay short). Ownership transfers are made idempotent against reply
+// loss with a per-page grant record: the previous owner keeps the stale frame and re-serves the
+// same transfer if the same requester asks again, so Packet never needs to buffer page data.
+//
+// Thrashing control (paper §2.3): an owner holds a freshly acquired page for a configurable
+// Mirage-style time window, deferring requests that would take the page away (deferred requests
+// are simply ignored; Packet retransmission recovers them).
+#ifndef DFIL_DSM_DSM_NODE_H_
+#define DFIL_DSM_DSM_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/intrusive_list.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/dsm/layout.h"
+#include "src/net/packet.h"
+#include "src/threads/server_thread.h"
+
+namespace dfil::dsm {
+
+enum class Pcp : uint8_t { kMigratory, kWriteInvalidate, kImplicitInvalidate };
+
+enum class AccessMode : uint8_t { kRead = 0, kWrite = 1 };
+
+enum class PageState : uint8_t { kInvalid, kReadOnly, kReadWrite };
+
+struct DsmConfig {
+  Pcp pcp = Pcp::kWriteInvalidate;
+  // Mirage hold window: a node keeps a freshly acquired page this long, deferring requests that
+  // would take it away. Besides controlling fork/join thrashing (paper §2.3), the window is the
+  // progress guarantee when pages ping-pong (Mirage [FP89]); 0 disables it.
+  SimTime mirage_window = Milliseconds(2.0);
+};
+
+struct PageEntry {
+  PageState state = PageState::kInvalid;
+  bool owner = false;
+  bool fetching = false;            // a page request is outstanding
+  AccessMode fetch_mode = AccessMode::kRead;
+  int pending_invalidate_acks = 0;  // write-invalidate: acks awaited before the write proceeds
+  NodeId probable_owner = 0;
+  uint64_t copyset = 0;      // owner side (write-invalidate): nodes holding read-only copies
+  SimTime hold_until = 0;    // Mirage window expiry
+  NodeId granted_to = kNoNode;  // last ownership grant, for idempotent transfer re-replies
+  uint64_t grant_copyset = 0;
+  IntrusiveList<threads::ServerThread, &threads::ServerThread::queue_link> waiters;
+};
+
+class DsmNode {
+ public:
+  struct Hooks {
+    // Charges CPU time to this node's virtual clock.
+    std::function<void(TimeCategory, SimTime)> charge;
+    // Reads this node's virtual clock (for the Mirage hold window).
+    std::function<SimTime()> clock;
+    // Notifies the runtime that the current thread is about to suspend on `page` (the pool/fj
+    // engines start replacement server threads here). May charge time and yield; the fetch may
+    // even complete during it, which FaultAndWait re-checks.
+    std::function<void(PageId)> pre_block;
+    // Suspends the calling server thread (already enqueued on the page's waiter list, state set).
+    // Returns when the thread is woken. Runs on a server-thread context. Must not charge.
+    std::function<void()> block_current;
+    // Makes `t` runnable again (ready-queue placement policy is the runtime's).
+    std::function<void(threads::ServerThread*)> wake;
+    // The server thread currently executing on this node.
+    std::function<threads::ServerThread*()> current_thread;
+    // Invoked when the last outstanding fetch completes (synchronization points wait on this).
+    std::function<void()> fetches_drained;
+    // Optional tracing of the blocked interval of a fault (from suspension to wake-up).
+    std::function<void(PageId)> trace_fault_begin;
+    std::function<void()> trace_fault_end;
+  };
+
+  DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* packet,
+          const sim::CostModel* costs, const DsmConfig& config, Hooks hooks);
+
+  DsmNode(const DsmNode&) = delete;
+  DsmNode& operator=(const DsmNode&) = delete;
+
+  // --- Access paths (server-thread context) ---
+
+  // Fast path: returns a pointer to the bytes when every page in [addr, addr+len) is present with
+  // `mode` access; otherwise nullptr.
+  std::byte* TryAccess(GlobalAddr addr, size_t len, AccessMode mode);
+
+  // Blocking path: faults pages in as needed; returns a valid pointer. Must be called from a
+  // server thread.
+  std::byte* Access(GlobalAddr addr, size_t len, AccessMode mode);
+
+  // Typed convenience accessors.
+  template <typename T>
+  const T& Read(GlobalAddr addr) {
+    return *reinterpret_cast<const T*>(Access(addr, sizeof(T), AccessMode::kRead));
+  }
+  template <typename T>
+  void Write(GlobalAddr addr, const T& value) {
+    *reinterpret_cast<T*>(Access(addr, sizeof(T), AccessMode::kWrite)) = value;
+  }
+
+  // --- Synchronization integration ---
+
+  // Called by the runtime at every synchronization point (reduction/barrier). Under
+  // implicit-invalidate this discards all read-only copies — no messages are sent.
+  void AtSyncPoint();
+
+  // Outstanding page fetches; a node delays at synchronization points until this reaches zero.
+  int pending_fetches() const { return pending_fetches_; }
+
+  // --- Introspection (tests, benches) ---
+  const PageEntry& page(PageId p) const { return table_[p]; }
+  const DsmStats& stats() const { return stats_; }
+  DsmStats& mutable_stats() { return stats_; }
+  const GlobalLayout& layout() const { return *layout_; }
+  std::byte* raw_replica(GlobalAddr addr) { return replica_.data() + addr; }
+  Pcp pcp() const { return config_.pcp; }
+
+ private:
+  // Initiates (or joins) a fetch of `page` with `mode` and suspends the current thread.
+  void FaultAndWait(PageId page, AccessMode mode);
+
+  // Sends a page request for `page` towards `target`.
+  void SendPageRequest(PageId page, AccessMode mode, NodeId target);
+
+  // Write-invalidate: sends invalidations to every node in `targets`; when all acks are in,
+  // completes the pending write fetch of `page`.
+  void StartInvalidations(PageId page, uint64_t targets);
+
+  // Handles an incoming page request; returns the reply payload or nullopt to defer.
+  std::optional<net::Payload> ServePageRequest(NodeId src, net::WireReader body);
+  std::optional<net::Payload> ServeInvalidate(NodeId src, net::WireReader body);
+  void OnPageReply(PageId page, AccessMode mode, net::Payload reply);
+
+  // Completes a fetch: grants access, wakes waiters, decrements pending counter.
+  void FinishFetch(PageId page, PageState new_state, bool ownership);
+
+  // Builds a data reply for the whole group of `page`, optionally transferring ownership.
+  // `from_grant` re-serves a lost transfer from the grant record instead of the live copyset.
+  net::Payload BuildDataReply(PageId page, bool transfer_ownership, bool include_copyset,
+                              bool from_grant = false);
+
+  bool PagePresent(const PageEntry& e, AccessMode mode) const {
+    if (mode == AccessMode::kRead) {
+      return e.state != PageState::kInvalid;
+    }
+    return e.state == PageState::kReadWrite;
+  }
+
+  NodeId self_;
+  const GlobalLayout* layout_;
+  net::PacketEndpoint* packet_;
+  const sim::CostModel* costs_;
+  DsmConfig config_;
+  Hooks hooks_;
+  std::vector<std::byte> replica_;
+  std::vector<PageEntry> table_;
+  int pending_fetches_ = 0;
+  DsmStats stats_;
+};
+
+}  // namespace dfil::dsm
+
+#endif  // DFIL_DSM_DSM_NODE_H_

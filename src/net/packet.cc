@@ -1,0 +1,269 @@
+#include "src/net/packet.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace dfil::net {
+
+PacketEndpoint::PacketEndpoint(sim::Machine* machine, NodeId self, PacketConfig config,
+                               ChargeFn charge, ClockFn clock)
+    : machine_(machine),
+      self_(self),
+      config_(config),
+      charge_(std::move(charge)),
+      clock_(std::move(clock)) {}
+
+PacketEndpoint::~PacketEndpoint() {
+  for (auto& [id, out] : outstanding_) {
+    out.timer.Cancel();
+  }
+  for (auto& [id, rep] : pending_replies_) {
+    rep.timer.Cancel();
+  }
+}
+
+void PacketEndpoint::RegisterService(Service service, ServiceFn fn, bool idempotent,
+                                     TimeCategory recv_category) {
+  auto [it, inserted] = services_.emplace(static_cast<uint16_t>(service),
+                                          ServiceEntry{std::move(fn), idempotent, recv_category});
+  DFIL_CHECK(inserted) << "service registered twice: " << static_cast<int>(service);
+}
+
+void PacketEndpoint::RegisterRawHandler(Service service, RawFn fn, TimeCategory recv_category) {
+  auto [it, inserted] = raw_handlers_.emplace(static_cast<uint16_t>(service),
+                                              RawEntry{std::move(fn), recv_category});
+  DFIL_CHECK(inserted) << "raw handler registered twice: " << static_cast<int>(service);
+}
+
+void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id,
+                              const Payload& body, TimeCategory charge_as) {
+  charge_(charge_as, machine_->costs().msg_send_overhead);
+  WireWriter w;
+  w.Put(Header{kind, static_cast<uint16_t>(service), req_id});
+  w.PutBytes(body.data(), body.size());
+  sim::Datagram d;
+  d.src = self_;
+  d.dst = dst;
+  d.type = static_cast<uint32_t>(service);
+  d.payload = w.Take();
+  machine_->Send(std::move(d), clock_());
+}
+
+uint64_t PacketEndpoint::SendRequest(NodeId dst, Service service, Payload body, ReplyFn on_reply,
+                                     TimeCategory charge_as) {
+  DFIL_CHECK_NE(dst, self_);
+  const uint64_t req_id = next_req_id_++;
+  Outstanding out;
+  out.dst = dst;
+  out.service = service;
+  out.body = body;
+  out.on_reply = std::move(on_reply);
+  out.timeout = config_.retransmit_timeout;
+  out.attempts = 1;
+  out.charge_as = charge_as;
+  stats_.requests_sent++;
+  Transmit(dst, Kind::kRequest, service, req_id, body, charge_as);
+  outstanding_.emplace(req_id, std::move(out));
+  ArmTimer(req_id);
+  return req_id;
+}
+
+void PacketEndpoint::ArmTimer(uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  DFIL_CHECK(it != outstanding_.end());
+  it->second.timer =
+      machine_->ScheduleTimer(self_, clock_() + it->second.timeout, [this, req_id] {
+        OnTimeout(req_id);
+      });
+}
+
+void PacketEndpoint::OnTimeout(uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) {
+    return;  // reply arrived while the timer event was in flight
+  }
+  Outstanding& out = it->second;
+  DFIL_CHECK_LT(out.attempts, config_.retransmit_limit)
+      << "Packet: request " << req_id << " to node " << out.dst << " (service "
+      << static_cast<int>(out.service) << ") exceeded the retransmission limit";
+  charge_(out.charge_as, machine_->costs().timer_overhead);
+  DFIL_LOG(kDebug, "packet") << "node " << self_ << " retransmit req " << req_id << " to "
+                             << out.dst << " attempt " << out.attempts + 1;
+  out.attempts++;
+  stats_.retransmissions++;
+  machine_->net_stats().retransmissions++;
+  Transmit(out.dst, Kind::kRequest, out.service, req_id, out.body, out.charge_as);
+  // Exponential backoff, capped.
+  out.timeout = std::min<SimTime>(out.timeout * 2, config_.retransmit_timeout_max);
+  ArmTimer(req_id);
+}
+
+void PacketEndpoint::SendRaw(NodeId dst, Service service, Payload body, TimeCategory charge_as) {
+  stats_.raw_sent++;
+  Transmit(dst, Kind::kRaw, service, 0, body, charge_as);
+}
+
+void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory charge_as) {
+  stats_.raw_sent++;
+  charge_(charge_as, machine_->costs().msg_send_overhead);
+  WireWriter w;
+  w.Put(Header{Kind::kRaw, static_cast<uint16_t>(service), 0});
+  w.PutBytes(body.data(), body.size());
+  sim::Datagram d;
+  d.src = self_;
+  d.dst = sim::kBroadcastDst;
+  d.type = static_cast<uint32_t>(service);
+  d.payload = w.Take();
+  machine_->Broadcast(std::move(d), clock_());
+}
+
+void PacketEndpoint::OnDatagram(sim::Datagram d) {
+  WireReader r(d.payload);
+  const Header h = r.Get<Header>();
+  Payload body(r.Rest().begin(), r.Rest().end());
+  switch (h.kind) {
+    case Kind::kRequest: {
+      auto it = services_.find(h.service);
+      DFIL_CHECK(it != services_.end())
+          << "node " << self_ << ": no service " << h.service;
+      charge_(it->second.recv_category, machine_->costs().msg_recv_overhead);
+      HandleRequest(d.src, h.req_id, static_cast<Service>(h.service), std::move(body));
+      return;
+    }
+    case Kind::kReply: {
+      auto out = outstanding_.find(h.req_id);
+      charge_(out != outstanding_.end() ? out->second.charge_as : TimeCategory::kSyncOverhead,
+              machine_->costs().msg_recv_overhead);
+      HandleReply(d.src, h.req_id, std::move(body));
+      return;
+    }
+    case Kind::kRaw: {
+      auto it = raw_handlers_.find(h.service);
+      DFIL_CHECK(it != raw_handlers_.end())
+          << "node " << self_ << ": no raw handler for service " << h.service;
+      charge_(it->second.recv_category, machine_->costs().msg_recv_overhead);
+      it->second.fn(d.src, std::move(body));
+      return;
+    }
+    case Kind::kAck: {
+      charge_(TimeCategory::kSyncOverhead, machine_->costs().msg_recv_overhead);
+      auto it = pending_replies_.find({d.src, h.req_id});
+      if (it != pending_replies_.end()) {
+        it->second.timer.Cancel();
+        pending_replies_.erase(it);
+      }
+      return;
+    }
+  }
+  DFIL_CHECK(false) << "corrupt packet kind";
+}
+
+void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service, Payload body) {
+  ServiceEntry& entry = services_.find(static_cast<uint16_t>(service))->second;
+
+  if (!entry.idempotent) {
+    // Ignore mutating requests while this node is inside a critical section; the requester's
+    // retransmission will retry (paper §3: entry/exit are a single assignment, ignored messages
+    // are recovered by Packet).
+    if (in_critical_section && in_critical_section()) {
+      stats_.deferred_requests++;
+      machine_->net_stats().deferred_requests++;
+      return;
+    }
+    // Duplicate of a request we already served: re-send the cached reply rather than re-running
+    // the (mutating) service.
+    auto cached = response_cache_.find({src, req_id});
+    if (cached != response_cache_.end()) {
+      stats_.duplicate_requests++;
+      stats_.replies_sent++;
+      Transmit(src, Kind::kReply, service, req_id, cached->second.body,
+               TimeCategory::kSyncOverhead);
+      return;
+    }
+  }
+  if (config_.ack_replies && pending_replies_.count({src, req_id}) != 0) {
+    // TCP-like mode: the original reply is still buffered (its ack is pending); the timer-driven
+    // retransmission covers this duplicate request.
+    stats_.duplicate_requests++;
+    return;
+  }
+
+  std::optional<Payload> reply = entry.fn(src, WireReader(body));
+  if (!reply.has_value()) {
+    stats_.deferred_requests++;
+    machine_->net_stats().deferred_requests++;
+    return;
+  }
+  if (!entry.idempotent) {
+    const SimTime expires =
+        clock_() + config_.retransmit_timeout * config_.response_cache_timeouts;
+    response_cache_[{src, req_id}] = CachedReply{*reply, expires};
+    cache_fifo_.push_back({src, req_id});
+    // Evict in FIFO order: anything expired, plus the oldest entries beyond the size cap. A
+    // requester that still needed an evicted reply will re-run into the duplicate path and, for
+    // the rare non-idempotent case, the CHECK below the service catches it loudly in tests.
+    while (!cache_fifo_.empty() &&
+           (cache_fifo_.size() > kResponseCacheCap ||
+            response_cache_[cache_fifo_.front()].expires < clock_())) {
+      response_cache_.erase(cache_fifo_.front());
+      cache_fifo_.pop_front();
+    }
+  }
+  stats_.replies_sent++;
+  if (config_.ack_replies) {
+    SendReplyBuffered(src, service, req_id, std::move(*reply));
+  } else {
+    Transmit(src, Kind::kReply, service, req_id, *reply, TimeCategory::kSyncOverhead);
+  }
+}
+
+void PacketEndpoint::HandleReply(NodeId src, uint64_t req_id, Payload body) {
+  if (config_.ack_replies) {
+    // TCP-like mode: explicitly acknowledge every reply (duplicates included, or the replier
+    // would retransmit its buffered copy forever).
+    stats_.acks_sent++;
+    Transmit(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead);
+  }
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) {
+    stats_.duplicate_replies++;  // late duplicate (Figure 3d); drop it
+    return;
+  }
+  it->second.timer.Cancel();
+  ReplyFn on_reply = std::move(it->second.on_reply);
+  outstanding_.erase(it);
+  if (on_reply) {
+    on_reply(std::move(body));
+  }
+}
+
+void PacketEndpoint::SendReplyBuffered(NodeId dst, Service service, uint64_t req_id,
+                                       Payload body) {
+  Transmit(dst, Kind::kReply, service, req_id, body, TimeCategory::kSyncOverhead);
+  PendingReply rep;
+  rep.dst = dst;
+  rep.service = service;
+  rep.body = std::move(body);
+  rep.timer = machine_->ScheduleTimer(self_, clock_() + config_.retransmit_timeout,
+                                      [this, dst, req_id] { OnReplyTimeout(dst, req_id); });
+  pending_replies_[{dst, req_id}] = std::move(rep);
+}
+
+void PacketEndpoint::OnReplyTimeout(NodeId dst, uint64_t req_id) {
+  auto it = pending_replies_.find({dst, req_id});
+  if (it == pending_replies_.end()) {
+    return;
+  }
+  PendingReply& rep = it->second;
+  DFIL_CHECK_LT(rep.attempts, config_.retransmit_limit) << "buffered reply never acknowledged";
+  rep.attempts++;
+  stats_.reply_retransmissions++;
+  charge_(TimeCategory::kSyncOverhead, machine_->costs().timer_overhead);
+  Transmit(rep.dst, Kind::kReply, rep.service, req_id, rep.body, TimeCategory::kSyncOverhead);
+  rep.timer = machine_->ScheduleTimer(self_, clock_() + config_.retransmit_timeout,
+                                      [this, dst, req_id] { OnReplyTimeout(dst, req_id); });
+}
+
+}  // namespace dfil::net

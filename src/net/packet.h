@@ -1,0 +1,209 @@
+// Packet: the paper's low-overhead reliable datagram protocol (§3, Figure 3).
+//
+// Communication occurs in request/reply pairs over an unreliable datagram substrate (simulated
+// UDP). Only requests are buffered — they are short — and a request is retransmitted until its
+// reply arrives; replies are never buffered, they are rebuilt from current state when a duplicate
+// request is served (so services must be idempotent, like page replies, which are constructed
+// from the current page contents). For the few non-idempotent services (e.g. fork results) an
+// endpoint keeps a small, time-bounded response cache per requester, a VMTP-style extension
+// documented in DESIGN.md. Unlike VMTP, send/receive/reply is fully asynchronous.
+//
+// The critical-section mechanism (§3): a node marks itself "in a critical section" with a single
+// flag assignment; while the flag is set, requests whose service mutates critical data are simply
+// ignored — the requester's retransmission recovers them.
+//
+// Raw (unreliable) sends are also provided; the paper's coarse-grain comparison programs use bare
+// UDP and hang when a message is lost, which the benches reproduce.
+#ifndef DFIL_NET_PACKET_H_
+#define DFIL_NET_PACKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/net/wire.h"
+#include "src/sim/machine.h"
+
+namespace dfil::net {
+
+// Upper-layer service numbers. Declared centrally so traces are readable.
+enum class Service : uint16_t {
+  // DSM
+  kPageRequest = 1,
+  kInvalidate = 2,
+  // Reductions
+  kReduceUp = 10,
+  kReduceDone = 11,  // raw broadcast dissemination
+  // Fork/join
+  kForkShip = 20,
+  kJoinResult = 21,
+  kStealWork = 22,
+  kTerminate = 23,  // raw broadcast: fork/join computation finished
+  // Coarse-grain application traffic (raw UDP semantics)
+  kAppData = 30,
+  // Tests
+  kTestEcho = 100,
+  kTestMutate = 101,
+};
+
+struct PacketConfig {
+  SimTime retransmit_timeout = Milliseconds(100.0);  // >> quiet RTT and transient reply queueing
+  SimTime retransmit_timeout_max = Milliseconds(400.0);
+  int retransmit_limit = 60;
+  // How long a cached non-idempotent reply stays valid (relative to the initial timeout).
+  int response_cache_timeouts = 20;
+  // TCP-like ablation (paper §3: "a different reliability mechanism—such as the one in TCP—might
+  // perform better" on lossy networks): replies are buffered at the replier and retransmitted
+  // until explicitly acknowledged, instead of being rebuilt on request retransmission. Costs one
+  // extra ack message per exchange and reply buffering — Packet's whole savings.
+  bool ack_replies = false;
+};
+
+// Statistics specific to the Packet layer of one node.
+struct PacketStats {
+  uint64_t requests_sent = 0;
+  uint64_t replies_sent = 0;
+  uint64_t acks_sent = 0;
+  uint64_t reply_retransmissions = 0;
+  uint64_t retransmissions = 0;
+  uint64_t duplicate_requests = 0;
+  uint64_t duplicate_replies = 0;
+  uint64_t deferred_requests = 0;  // ignored due to a critical section or a busy service
+  uint64_t raw_sent = 0;
+};
+
+// One node's endpoint of the Packet protocol.
+class PacketEndpoint {
+ public:
+  // A service consumes a request body and returns the reply body, or nullopt to defer the request
+  // entirely (it will be served on a later retransmission).
+  using ServiceFn = std::function<std::optional<Payload>(NodeId src, WireReader body)>;
+  using ReplyFn = std::function<void(Payload reply)>;
+  using RawFn = std::function<void(NodeId src, Payload body)>;
+  // Charges CPU cost to the owning node's virtual clock.
+  using ChargeFn = std::function<void(TimeCategory, SimTime)>;
+  // Reads the owning node's virtual clock.
+  using ClockFn = std::function<SimTime()>;
+
+  PacketEndpoint(sim::Machine* machine, NodeId self, PacketConfig config, ChargeFn charge,
+                 ClockFn clock);
+  ~PacketEndpoint();
+
+  PacketEndpoint(const PacketEndpoint&) = delete;
+  PacketEndpoint& operator=(const PacketEndpoint&) = delete;
+
+  // Registers the handler for `service`. Non-idempotent services get the response cache.
+  // `recv_category` is the accounting bucket charged for receiving traffic of this service
+  // (page traffic counts as data transfer, barrier traffic as synchronization overhead, ...).
+  void RegisterService(Service service, ServiceFn fn, bool idempotent,
+                       TimeCategory recv_category = TimeCategory::kSyncOverhead);
+  void RegisterRawHandler(Service service, RawFn fn,
+                          TimeCategory recv_category = TimeCategory::kSyncOverhead);
+
+  // Sends a reliable request; `on_reply` runs on this node when the reply arrives. The request
+  // body is buffered (it must be small; the paper's are <= 20 bytes) and retransmitted on timeout.
+  // Returns the request id.
+  uint64_t SendRequest(NodeId dst, Service service, Payload body, ReplyFn on_reply,
+                       TimeCategory charge_as = TimeCategory::kSyncOverhead);
+
+  // Unreliable one-shot datagrams (bare UDP semantics).
+  void SendRaw(NodeId dst, Service service, Payload body,
+               TimeCategory charge_as = TimeCategory::kSyncOverhead);
+  void BroadcastRaw(Service service, Payload body,
+                    TimeCategory charge_as = TimeCategory::kSyncOverhead);
+
+  // Datagram ingress (wired from the owning NodeHost). Charges receive overhead.
+  void OnDatagram(sim::Datagram d);
+
+  // Requests still awaiting a reply. Nodes delay at synchronization points until this is zero.
+  size_t outstanding() const { return outstanding_.size(); }
+
+  // When set and returning true, requests for mutating (non-idempotent) services are ignored.
+  std::function<bool()> in_critical_section;
+
+  const PacketStats& stats() const { return stats_; }
+  PacketConfig& config() { return config_; }
+
+ private:
+  enum class Kind : uint8_t { kRequest = 1, kReply = 2, kRaw = 3, kAck = 4 };
+
+  struct Header {
+    Kind kind;
+    uint16_t service;
+    uint64_t req_id;
+  };
+
+  struct Outstanding {
+    NodeId dst;
+    Service service;
+    Payload body;  // buffered for retransmission
+    ReplyFn on_reply;
+    sim::EventHandle timer;
+    SimTime timeout;
+    int attempts;
+    TimeCategory charge_as;
+  };
+
+  struct ServiceEntry {
+    ServiceFn fn;
+    bool idempotent = true;
+    TimeCategory recv_category = TimeCategory::kSyncOverhead;
+  };
+
+  struct RawEntry {
+    RawFn fn;
+    TimeCategory recv_category = TimeCategory::kSyncOverhead;
+  };
+
+  struct CachedReply {
+    Payload body;
+    SimTime expires;
+  };
+
+  void Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id, const Payload& body,
+                TimeCategory charge_as);
+  void ArmTimer(uint64_t req_id);
+  void OnTimeout(uint64_t req_id);
+  void HandleRequest(NodeId src, uint64_t req_id, Service service, Payload body);
+  void HandleReply(NodeId src, uint64_t req_id, Payload body);
+  // ack_replies mode: buffer an outgoing reply and retransmit it until acknowledged.
+  void SendReplyBuffered(NodeId dst, Service service, uint64_t req_id, Payload body);
+  void OnReplyTimeout(NodeId dst, uint64_t req_id);
+
+  sim::Machine* machine_;
+  NodeId self_;
+  PacketConfig config_;
+  ChargeFn charge_;
+  ClockFn clock_;
+  PacketStats stats_;
+
+  uint64_t next_req_id_ = 1;
+  std::map<uint64_t, Outstanding> outstanding_;
+  std::unordered_map<uint16_t, ServiceEntry> services_;
+  std::unordered_map<uint16_t, RawEntry> raw_handlers_;
+  // ack_replies mode: replies awaiting acknowledgement, keyed by (requester, request id) — the
+  // request-id namespace is per sender.
+  struct PendingReply {
+    NodeId dst;
+    Service service;
+    Payload body;
+    sim::EventHandle timer;
+    int attempts = 1;
+  };
+  std::map<std::pair<NodeId, uint64_t>, PendingReply> pending_replies_;
+
+  // Response cache for non-idempotent services: (src, req_id) -> reply, evicted FIFO.
+  static constexpr size_t kResponseCacheCap = 1024;
+  std::map<std::pair<NodeId, uint64_t>, CachedReply> response_cache_;
+  std::deque<std::pair<NodeId, uint64_t>> cache_fifo_;
+};
+
+}  // namespace dfil::net
+
+#endif  // DFIL_NET_PACKET_H_

@@ -1,0 +1,79 @@
+// Byte-order-free POD serialization for message payloads.
+//
+// All simulated nodes live in one process, so messages use native layout; readers CHECK against
+// truncation so malformed payloads fail loudly.
+#ifndef DFIL_NET_WIRE_H_
+#define DFIL_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace dfil::net {
+
+using Payload = std::vector<std::byte>;
+
+class WireWriter {
+ public:
+  template <typename T>
+  void Put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  void PutBytes(const void* data, size_t len) {
+    if (len == 0) {
+      return;  // empty payloads may come with a null pointer; memcpy(p, nullptr, 0) is UB
+    }
+    const size_t old = buf_.size();
+    buf_.resize(old + len);
+    std::memcpy(buf_.data() + old, data, len);
+  }
+
+  size_t size() const { return buf_.size(); }
+  Payload Take() { return std::move(buf_); }
+
+ private:
+  Payload buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DFIL_CHECK_LE(pos_ + sizeof(T), data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void GetBytes(void* out, size_t len) {
+    if (len == 0) {
+      return;
+    }
+    DFIL_CHECK_LE(pos_ + len, data_.size());
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::span<const std::byte> Rest() const { return data_.subspan(pos_); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dfil::net
+
+#endif  // DFIL_NET_WIRE_H_

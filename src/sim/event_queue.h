@@ -1,0 +1,101 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence), so simultaneous events dispatch in FIFO order
+// and runs are bit-for-bit reproducible. Timers are cancelled lazily via a tombstone flag.
+#ifndef DFIL_SIM_EVENT_QUEUE_H_
+#define DFIL_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace dfil::sim {
+
+using EventFn = std::function<void()>;
+
+// Opaque handle used to cancel a scheduled event. Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool active() const { return cancelled_ != nullptr && !*cancelled_; }
+  void Cancel() {
+    if (cancelled_ != nullptr) {
+      *cancelled_ = true;
+      cancelled_.reset();
+    }
+  }
+  void Release() { cancelled_.reset(); }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute virtual time `at`.
+  EventHandle Schedule(SimTime at, EventFn fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    heap_.push(Entry{at, next_seq_++, std::move(fn), cancelled});
+    return EventHandle(std::move(cancelled));
+  }
+
+  // True when no live (non-cancelled) event remains.
+  bool empty() const {
+    Prune();
+    return heap_.empty();
+  }
+
+  // Virtual time of the earliest pending event, or kSimTimeNever if none.
+  SimTime NextTime() const {
+    Prune();
+    return heap_.empty() ? kSimTimeNever : heap_.top().time;
+  }
+
+  // Removes and returns the earliest live event. The queue must not be empty.
+  std::pair<SimTime, EventFn> Pop() {
+    Prune();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    return {top.time, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Discards cancelled entries at the head. A cancelled entry deeper in the heap is harmless: it
+  // is skipped once it reaches the head.
+  void Prune() const {
+    auto* self = const_cast<EventQueue*>(this);
+    while (!self->heap_.empty() && *self->heap_.top().cancelled) {
+      self->heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dfil::sim
+
+#endif  // DFIL_SIM_EVENT_QUEUE_H_

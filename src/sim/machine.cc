@@ -1,0 +1,140 @@
+#include "src/sim/machine.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace dfil::sim {
+
+void Machine::AddHost(NodeHost* host) {
+  DFIL_CHECK_EQ(host->id(), static_cast<NodeId>(hosts_.size()));
+  hosts_.push_back(host);
+}
+
+void Machine::Deliver(NodeId dst, Datagram d, SimTime at) {
+  DFIL_CHECK_GE(dst, 0);
+  DFIL_CHECK_LT(static_cast<size_t>(dst), hosts_.size());
+  events_.Schedule(at, [this, dst, msg = std::move(d), at]() mutable {
+    NodeHost* host = hosts_[dst];
+    host->AdvanceTo(at);
+    host->OnDatagram(std::move(msg));
+  }).Release();
+}
+
+void Machine::Send(Datagram d, SimTime ready) {
+  DFIL_CHECK(d.dst != kBroadcastDst) << "use Broadcast()";
+  net_stats_.messages_sent++;
+  net_stats_.bytes_sent += d.payload.size();
+  TxPlan plan = network_->PlanUnicast(d.src, d.dst, d.payload.size(), ready);
+  if (plan.dropped) {
+    net_stats_.messages_dropped++;
+    DFIL_LOG(kDebug, "net") << "drop " << d.src << "->" << d.dst << " type=" << d.type;
+    return;
+  }
+  Deliver(d.dst, std::move(d), plan.deliver_at);
+}
+
+void Machine::Broadcast(Datagram d, SimTime ready) {
+  std::vector<NodeId> dsts;
+  dsts.reserve(hosts_.size());
+  for (const NodeHost* host : hosts_) {
+    if (host->id() != d.src) {
+      dsts.push_back(host->id());
+    }
+  }
+  net_stats_.messages_sent++;
+  net_stats_.bytes_sent += d.payload.size();
+  std::vector<TxPlan> plans;
+  network_->PlanBroadcast(d.src, dsts, d.payload.size(), ready, plans);
+  DFIL_CHECK_EQ(plans.size(), dsts.size());
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    if (plans[i].dropped) {
+      net_stats_.messages_dropped++;
+      continue;
+    }
+    Datagram copy = d;
+    copy.dst = dsts[i];
+    Deliver(dsts[i], std::move(copy), plans[i].deliver_at);
+  }
+}
+
+EventHandle Machine::ScheduleTimer(NodeId node, SimTime at, std::function<void()> fn) {
+  DFIL_CHECK_GE(node, 0);
+  DFIL_CHECK_LT(static_cast<size_t>(node), hosts_.size());
+  return events_.Schedule(at, [this, node, at, fn = std::move(fn)]() {
+    hosts_[node]->AdvanceTo(at);
+    fn();
+  });
+}
+
+RunResult Machine::Run(SimTime max_virtual_time) {
+  RunResult result;
+  for (;;) {
+    // Pick the runnable node with the smallest clock (ties by id, for determinism).
+    NodeHost* next = nullptr;
+    for (NodeHost* host : hosts_) {
+      if (host->Runnable() && (next == nullptr || host->Clock() < next->Clock())) {
+        next = host;
+      }
+    }
+    SimTime event_time = events_.NextTime();
+
+    // Strict inequality: an event due at exactly the node's clock dispatches first — otherwise a
+    // node that yielded for that event would be resumed only to yield again, forever.
+    if (next != nullptr && next->Clock() < event_time) {
+      if (next->Clock() > max_virtual_time) {
+        result.deadlock_report = "virtual time limit exceeded";
+        break;
+      }
+      next->Step();
+      continue;
+    }
+    if (event_time != kSimTimeNever) {
+      if (event_time > max_virtual_time) {
+        result.deadlock_report = "virtual time limit exceeded";
+        break;
+      }
+      auto [at, fn] = events_.Pop();
+      ++events_dispatched_;
+      fn();
+      continue;
+    }
+
+    // No runnable node and no pending event: either everyone finished, or we are deadlocked.
+    bool all_done = true;
+    for (const NodeHost* host : hosts_) {
+      if (!host->Done()) {
+        all_done = false;
+        break;
+      }
+    }
+    result.completed = all_done;
+    result.deadlocked = !all_done;
+    if (result.deadlocked) {
+      result.deadlock_report = BuildDeadlockReport();
+    }
+    break;
+  }
+
+  for (const NodeHost* host : hosts_) {
+    if (host->Clock() > result.makespan) {
+      result.makespan = host->Clock();
+    }
+  }
+  result.events_dispatched = events_dispatched_;
+  return result;
+}
+
+std::string Machine::BuildDeadlockReport() const {
+  std::ostringstream os;
+  os << "deadlock: no runnable node, no pending event\n";
+  for (const NodeHost* host : hosts_) {
+    os << "  node " << host->id() << " @" << ToMilliseconds(host->Clock()) << "ms "
+       << (host->Done() ? "done" : host->DescribeBlocked()) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dfil::sim

@@ -1,0 +1,147 @@
+// The cluster: N simulated workstations plus a network, executed in virtual time.
+//
+// Execution model (DESIGN.md §2): each node has its own virtual clock, advanced by explicit
+// charges from the cost model. The Machine repeatedly resumes the runnable node with the smallest
+// clock; a running node yields back whenever its clock would pass the next pending external event
+// (a datagram delivery or timer), so messages interrupt computation at exact virtual times — the
+// simulated analog of SunOS delivering SIGIO mid-computation. Event dispatch at equal times is
+// FIFO, so runs are fully deterministic.
+#ifndef DFIL_SIM_MACHINE_H_
+#define DFIL_SIM_MACHINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace dfil::sim {
+
+inline constexpr NodeId kBroadcastDst = -2;
+
+// A raw (unreliable, UDP-like) datagram. `type` is an upper-layer tag the simulator does not
+// interpret; the payload is opaque bytes.
+struct Datagram {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  uint32_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+// Per-node execution engine, implemented by the runtime layer (src/core). The Machine calls these
+// from its own (host) stack; OnDatagram and timer callbacks must not block or switch contexts.
+class NodeHost {
+ public:
+  virtual ~NodeHost() = default;
+
+  virtual NodeId id() const = 0;
+  virtual SimTime Clock() const = 0;
+
+  // True when the node has a ready server thread to run.
+  virtual bool Runnable() const = 0;
+
+  // True when the node's main program has finished.
+  virtual bool Done() const = 0;
+
+  // Resumes execution. Returns when the node blocks (no ready thread) or when its clock reaches
+  // the machine's next external event time.
+  virtual void Step() = 0;
+
+  // Moves the node clock forward to at least `t` (used for deliveries to idle nodes). Must not
+  // move the clock backwards.
+  virtual void AdvanceTo(SimTime t) = 0;
+
+  // Asynchronous message-arrival handler (the SIGIO analog). Charges receive overhead to this
+  // node's clock, then dispatches; never blocks.
+  virtual void OnDatagram(Datagram d) = 0;
+
+  // Human-readable description of why the node is blocked, for deadlock reports.
+  virtual std::string DescribeBlocked() const = 0;
+};
+
+struct RunResult {
+  bool completed = false;  // all hosts Done
+  bool deadlocked = false;
+  SimTime makespan = 0;  // max node clock at termination
+  std::string deadlock_report;
+  uint64_t events_dispatched = 0;
+};
+
+class Machine {
+ public:
+  Machine(std::unique_ptr<NetworkModel> network, const CostModel& costs)
+      : network_(std::move(network)), costs_(costs) {}
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Registers a host. Hosts must be added in NodeId order, ids dense from 0.
+  void AddHost(NodeHost* host);
+
+  const CostModel& costs() const { return costs_; }
+  NetworkModel& network() { return *network_; }
+  int num_nodes() const { return static_cast<int>(hosts_.size()); }
+  MessageStats& net_stats() { return net_stats_; }
+
+  // Hands a datagram to the network at time `ready` (normally the sender's current clock, after
+  // it charged send overhead). Lost datagrams count in net_stats but are never delivered.
+  void Send(Datagram d, SimTime ready);
+
+  // Broadcasts to every other node. On SharedEthernet this is a single transmission.
+  void Broadcast(Datagram d, SimTime ready);
+
+  // Schedules `fn` to run on `node` at virtual time `at` (a SIGALRM analog: the host clock is
+  // advanced to `at` and charged timer overhead before `fn` runs).
+  EventHandle ScheduleTimer(NodeId node, SimTime at, std::function<void()> fn);
+
+  // Earliest pending external event; running nodes yield when their clock reaches this.
+  SimTime NextExternalTime() const { return events_.NextTime(); }
+
+  // Conservative causality horizon for `self`: no other runnable node can affect `self` (or the
+  // network) before its own clock plus the lookahead — the minimum CPU cost of initiating any
+  // action (a message send). A charging node must not advance past min(next event, horizon), or
+  // it would act "in the past" of its peers.
+  SimTime CausalHorizon(NodeId self) const {
+    SimTime min_other = kSimTimeNever;
+    for (const NodeHost* host : hosts_) {
+      if (host->id() != self && host->Runnable() && host->Clock() < min_other) {
+        min_other = host->Clock();
+      }
+    }
+    return min_other == kSimTimeNever ? kSimTimeNever : min_other + lookahead_;
+  }
+
+  // The limit a node running on behalf of `self` may charge up to before yielding.
+  SimTime ChargeLimit(NodeId self) const {
+    const SimTime ev = NextExternalTime();
+    const SimTime hz = CausalHorizon(self);
+    return ev < hz ? ev : hz;
+  }
+
+  // Runs until every host is Done, or no progress is possible (deadlock), or `max_virtual_time`
+  // is exceeded (a runaway guard; kSimTimeNever disables it).
+  RunResult Run(SimTime max_virtual_time = kSimTimeNever);
+
+ private:
+  void Deliver(NodeId dst, Datagram d, SimTime at);
+  std::string BuildDeadlockReport() const;
+
+  std::unique_ptr<NetworkModel> network_;
+  CostModel costs_;
+  std::vector<NodeHost*> hosts_;
+  EventQueue events_;
+  MessageStats net_stats_;
+  SimTime lookahead_ = Microseconds(200.0);
+  uint64_t events_dispatched_ = 0;
+};
+
+}  // namespace dfil::sim
+
+#endif  // DFIL_SIM_MACHINE_H_

@@ -1,0 +1,61 @@
+#include "src/sim/network.h"
+
+#include "src/common/check.h"
+
+namespace dfil::sim {
+
+SimTime SharedEthernet::Transmit(size_t bytes, SimTime ready) {
+  SimTime start = ready > medium_free_at_ ? ready : medium_free_at_;
+  SimTime wire = costs_.WireTime(bytes);
+  medium_free_at_ = start + wire;
+  busy_total_ += wire;
+  return medium_free_at_;
+}
+
+TxPlan SharedEthernet::PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) {
+  DFIL_DCHECK(src != dst);
+  TxPlan plan;
+  plan.deliver_at = Transmit(bytes, ready) + costs_.propagation_delay;
+  plan.dropped = rng_.NextBernoulli(loss_rate_);
+  return plan;
+}
+
+void SharedEthernet::PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes,
+                                   SimTime ready, std::vector<TxPlan>& plans) {
+  (void)src;
+  // One transmission; every station hears the same frame, with independent loss at each receiver.
+  SimTime done = Transmit(bytes, ready) + costs_.propagation_delay;
+  plans.clear();
+  plans.reserve(dsts.size());
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    TxPlan plan;
+    plan.deliver_at = done;
+    plan.dropped = rng_.NextBernoulli(loss_rate_);
+    plans.push_back(plan);
+  }
+}
+
+TxPlan SwitchedNetwork::PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) {
+  DFIL_DCHECK(src != dst);
+  DFIL_CHECK_LT(static_cast<size_t>(src), nic_free_at_.size());
+  SimTime start = ready > nic_free_at_[src] ? ready : nic_free_at_[src];
+  SimTime wire = costs_.WireTime(bytes);
+  nic_free_at_[src] = start + wire;
+  busy_total_ += wire;
+  TxPlan plan;
+  plan.deliver_at = start + wire + costs_.propagation_delay;
+  plan.dropped = rng_.NextBernoulli(loss_rate_);
+  return plan;
+}
+
+void SwitchedNetwork::PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes,
+                                    SimTime ready, std::vector<TxPlan>& plans) {
+  // No shared medium: broadcast is replicated unicast, serialized at the sender's NIC.
+  plans.clear();
+  plans.reserve(dsts.size());
+  for (NodeId dst : dsts) {
+    plans.push_back(PlanUnicast(src, dst, bytes, ready));
+  }
+}
+
+}  // namespace dfil::sim

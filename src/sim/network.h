@@ -1,0 +1,91 @@
+// Network models.
+//
+// A NetworkModel decides when a datagram handed to the wire at `ready` arrives at its
+// destination(s), and whether it is lost. Two models are provided:
+//
+//  * SharedEthernet — the paper's testbed: one 10 Mb/s medium shared by all nodes. Transmissions
+//    serialize on the medium, which is what saturates the network in the 8-node matmul run
+//    (paper §4.1) and makes communication/computation overlap profitable.
+//  * SwitchedNetwork — an ablation: full-duplex point-to-point links with no shared contention.
+//
+// Loss is injected with a seeded RNG so lossy runs are reproducible.
+#ifndef DFIL_SIM_NETWORK_H_
+#define DFIL_SIM_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+namespace dfil::sim {
+
+// Outcome of presenting one frame to the network.
+struct TxPlan {
+  SimTime deliver_at = 0;  // arrival time at the receiver's interface
+  bool dropped = false;
+};
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  // Plans a unicast transmission of `bytes` payload handed to the interface at `ready`.
+  virtual TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) = 0;
+
+  // Plans a broadcast; fills `plans` with one entry per destination in `dsts`. On a shared medium
+  // this is a single transmission heard by everyone; on a switched network it is replicated.
+  virtual void PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes,
+                             SimTime ready, std::vector<TxPlan>& plans) = 0;
+
+  // Total busy time accumulated on the medium (used to verify saturation claims).
+  virtual SimTime MediumBusyTime() const = 0;
+};
+
+// One shared half-duplex medium; transmissions serialize (CSMA contention is approximated by
+// FIFO queueing at the medium).
+class SharedEthernet : public NetworkModel {
+ public:
+  SharedEthernet(const CostModel& costs, double loss_rate, uint64_t seed)
+      : costs_(costs), loss_rate_(loss_rate), rng_(seed) {}
+
+  TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) override;
+  void PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes, SimTime ready,
+                     std::vector<TxPlan>& plans) override;
+  SimTime MediumBusyTime() const override { return busy_total_; }
+
+ private:
+  // Acquires the medium at or after `ready` for one frame of `bytes`; returns completion time.
+  SimTime Transmit(size_t bytes, SimTime ready);
+
+  CostModel costs_;
+  double loss_rate_;
+  Rng rng_;
+  SimTime medium_free_at_ = 0;
+  SimTime busy_total_ = 0;
+};
+
+// Full-duplex switched fabric: per-source serialization only (a NIC sends one frame at a time),
+// no shared-medium contention.
+class SwitchedNetwork : public NetworkModel {
+ public:
+  SwitchedNetwork(const CostModel& costs, int num_nodes, double loss_rate, uint64_t seed)
+      : costs_(costs), loss_rate_(loss_rate), rng_(seed), nic_free_at_(num_nodes, 0) {}
+
+  TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) override;
+  void PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes, SimTime ready,
+                     std::vector<TxPlan>& plans) override;
+  SimTime MediumBusyTime() const override { return busy_total_; }
+
+ private:
+  CostModel costs_;
+  double loss_rate_;
+  Rng rng_;
+  std::vector<SimTime> nic_free_at_;
+  SimTime busy_total_ = 0;
+};
+
+}  // namespace dfil::sim
+
+#endif  // DFIL_SIM_NETWORK_H_

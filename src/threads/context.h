@@ -1,0 +1,56 @@
+// Execution contexts for server threads.
+//
+// Two backends implement the same save/restore contract:
+//  * kAsm — the hand-written x86-64 switch in context_switch_x86_64.S (the default; this mirrors
+//    the paper, where the only machine-dependent code in DF is a small context switch).
+//  * kUcontext — POSIX makecontext/swapcontext, the portable fallback for other architectures.
+//
+// The backend is chosen per Context at Init time; a switch requires both sides to use the same
+// backend. Server threads are cooperative, so no signal masks or FP control state are saved.
+#ifndef DFIL_THREADS_CONTEXT_H_
+#define DFIL_THREADS_CONTEXT_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+namespace dfil::threads {
+
+enum class ContextBackend { kAsm, kUcontext };
+
+// Process-wide default backend (kAsm on x86-64). Tests exercise both.
+ContextBackend DefaultContextBackend();
+
+class Context {
+ public:
+  // Entry functions receive the opaque argument and must never return; they must switch away to
+  // another context (the trampoline traps if they fall off the end).
+  using EntryFn = void (*)(void*);
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // Prepares this context to start running `entry(arg)` on `stack` at the first switch-in.
+  void Init(std::span<std::byte> stack, EntryFn entry, void* arg, ContextBackend backend);
+
+  // Marks this context as the carrier of the currently running (host) stack, so it can be
+  // switched out of. No stack is attached.
+  void InitAsCaller(ContextBackend backend);
+
+  ContextBackend backend() const { return backend_; }
+
+  // Saves the current context into `from` and resumes `to`. Both must share a backend.
+  static void Switch(Context* from, Context* to);
+
+ private:
+  ContextBackend backend_ = ContextBackend::kAsm;
+  void* sp_ = nullptr;                     // kAsm: saved stack pointer
+  std::unique_ptr<ucontext_t> ucontext_;   // kUcontext
+};
+
+}  // namespace dfil::threads
+
+#endif  // DFIL_THREADS_CONTEXT_H_

@@ -1,0 +1,206 @@
+// Tests for adaptive pool assignment — the paper's §2.2 future-work item "automatic clustering
+// of filaments that share pages into execution pools", implemented in PoolEngine.
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/core/node_runtime.h"
+#include "src/core/pool_engine.h"
+
+namespace dfil::core {
+namespace {
+
+struct AutoState {
+  GlobalArray1D<double> remote;  // owned by node 0
+  double sink = 0;
+};
+
+// Filaments with a0 < 0 are purely local; otherwise they read element a0 of the remote array.
+void MixedFilament(NodeEnv& env, int64_t a0, int64_t, int64_t) {
+  auto* st = static_cast<AutoState*>(env.user_ctx);
+  if (a0 >= 0) {
+    st->sink += st->remote.Read(env, static_cast<size_t>(a0));
+  }
+  env.ChargeWork(Microseconds(8.0));
+}
+
+constexpr int kRemote = 2048;  // spans 4 pages of doubles
+
+RunReport RunMixed(int pools_mode, int iterations, int* pools_after) {
+  // pools_mode: 0 = single manual pool, 1 = adaptive.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  Cluster cluster(cfg);
+  auto remote = GlobalArray1D<double>::Alloc(cluster.layout(), kRemote, "remote");
+  std::vector<AutoState> states(2);
+  RunReport r = cluster.Run([&](NodeEnv& env) {
+    AutoState& st = states[env.node()];
+    st.remote = remote;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      for (int i = 0; i < kRemote; ++i) {
+        remote.Write(env, i, 1.0);
+      }
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      // Interleave remote-touching filaments (4 distinct pages) among many local ones — the worst
+      // case for a single pool, and exactly what the auto-clusterer should untangle.
+      const int kLocal = 400;
+      int next_remote = 0;
+      for (int i = 0; i < kLocal; ++i) {
+        if (i % 100 == 50) {
+          // A run of filaments touching one remote page each.
+          for (int j = 0; j < 8; ++j) {
+            env.CreateAutoFilament(&MixedFilament, next_remote * 512 + j, 0, 0);
+          }
+          ++next_remote;
+        }
+        if (pools_mode == 1) {
+          env.CreateAutoFilament(&MixedFilament, -1, i, 0);
+        } else {
+          // emulate "one big manual pool" through the same API by never repartitioning:
+          env.CreateAutoFilament(&MixedFilament, -1, i, 0);
+        }
+      }
+      int sweeps = 0;
+      env.RunIterative([&](int iter) {
+        env.Barrier();
+        sweeps = iter + 1;
+        return iter + 1 < iterations;
+      });
+      if (pools_after != nullptr) {
+        *pools_after = env.runtime().pools().num_pools();
+      }
+    } else {
+      for (int i = 0; i < iterations; ++i) {
+        env.Barrier();
+      }
+    }
+  });
+  return r;
+}
+
+TEST(AdaptivePoolsTest, ProfilingSweepSplitsByFaultedPage) {
+  int pools_after = 0;
+  RunReport r = RunMixed(1, 3, &pools_after);
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  // 1 profiling pool -> 4 per-page pools (the remote array spans 4 pages) + 1 quiet pool.
+  EXPECT_EQ(pools_after, 5);
+}
+
+TEST(AdaptivePoolsTest, RepartitioningPreservesEveryFilament) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cluster(cfg);
+  auto remote = GlobalArray1D<double>::Alloc(cluster.layout(), kRemote, "remote");
+  std::vector<AutoState> states(2);
+  std::vector<uint64_t> runs_per_sweep;
+  RunReport r = cluster.Run([&](NodeEnv& env) {
+    AutoState& st = states[env.node()];
+    st.remote = remote;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      for (int i = 0; i < kRemote; ++i) {
+        remote.Write(env, i, 1.0);
+      }
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      for (int i = 0; i < 100; ++i) {
+        env.CreateAutoFilament(&MixedFilament, i % 10 == 0 ? (i * 37) % kRemote : -1, i, 0);
+      }
+      uint64_t before = 0;
+      env.RunIterative([&](int iter) {
+        const uint64_t total = env.runtime().fil_stats().filaments_run;
+        runs_per_sweep.push_back(total - before);
+        before = total;
+        env.Barrier();
+        return iter + 1 < 4;
+      });
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        env.Barrier();
+      }
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  ASSERT_EQ(runs_per_sweep.size(), 4u);
+  for (uint64_t runs : runs_per_sweep) {
+    EXPECT_EQ(runs, 100u) << "every filament must run exactly once per sweep, before and after "
+                             "repartitioning";
+  }
+}
+
+TEST(AdaptivePoolsTest, NoFaultsMeansNoSplit) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  int pools_after = 0;
+  std::vector<AutoState> states(1);
+  RunReport r = cluster.Run([&](NodeEnv& env) {
+    env.user_ctx = &states[0];
+    for (int i = 0; i < 50; ++i) {
+      env.CreateAutoFilament(&MixedFilament, -1, i, 0);
+    }
+    env.RunPools();
+    env.RunPools();
+    pools_after = env.runtime().pools().num_pools();
+  });
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(pools_after, 1);
+}
+
+TEST(AdaptivePoolsTest, AdaptivePoolsRecoverOverlap) {
+  // After repartitioning, the faulting pools suspend while the quiet pool overlaps the fetches;
+  // later iterations must be faster than the first (profiling) one.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  Cluster cluster(cfg);
+  auto remote = GlobalArray1D<double>::Alloc(cluster.layout(), kRemote, "remote");
+  std::vector<AutoState> states(2);
+  std::vector<SimTime> sweep_times;
+  RunReport r = cluster.Run([&](NodeEnv& env) {
+    AutoState& st = states[env.node()];
+    st.remote = remote;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      for (int i = 0; i < kRemote; ++i) {
+        remote.Write(env, i, 1.0);
+      }
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      for (int page = 0; page < 4; ++page) {
+        for (int j = 0; j < 4; ++j) {
+          env.CreateAutoFilament(&MixedFilament, page * 512 + j, 0, 0);
+        }
+      }
+      for (int i = 0; i < 600; ++i) {
+        env.CreateAutoFilament(&MixedFilament, -1, i, 0);
+      }
+      SimTime last = env.Now();
+      env.RunIterative([&](int iter) {
+        env.Barrier();
+        sweep_times.push_back(env.Now() - last);
+        last = env.Now();
+        return iter + 1 < 4;
+      });
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        env.Barrier();
+      }
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  ASSERT_EQ(sweep_times.size(), 4u);
+  // Iterations 2..4 (post-repartition, implicit-invalidate re-faults every sweep) should overlap
+  // the fetch latency behind the quiet pool, beating the single-pool profiling sweep.
+  EXPECT_LT(sweep_times[2], sweep_times[0]);
+  EXPECT_LT(sweep_times[3], sweep_times[0]);
+}
+
+}  // namespace
+}  // namespace dfil::core

@@ -1,0 +1,311 @@
+// Tests for the distributed shared memory: layout/allocator, page groups, and the three page
+// consistency protocols' invariants, exercised through full clusters.
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/dsm/layout.h"
+
+namespace dfil::dsm {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::GlobalArray1D;
+using core::GlobalRef;
+using core::NodeEnv;
+
+// --- Layout / allocator ---
+
+TEST(LayoutTest, AllocRespectsAlignment) {
+  GlobalLayout layout;
+  GlobalAddr a = layout.Alloc(3, 1);
+  GlobalAddr b = layout.Alloc(8, 8);
+  GlobalAddr c = layout.Alloc(1, 64);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_EQ(c % 64, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, b);
+}
+
+TEST(LayoutTest, PaddedAllocationsShareNoPage) {
+  GlobalLayout layout;
+  GlobalAddr a = layout.AllocPadded(100, "a");
+  GlobalAddr b = layout.AllocPadded(100, "b");
+  EXPECT_NE(layout.PageOf(a), layout.PageOf(b));
+  EXPECT_NE(layout.PageOf(a + 99), layout.PageOf(b));
+}
+
+TEST(LayoutTest, RowPaddedArrayPutsEachRowOnItsOwnPage) {
+  GlobalLayout layout;
+  // 10 doubles per row: far less than a page, padded to one page per row.
+  GlobalAddr base = layout.AllocArray2D(4, 10, sizeof(double), /*pad_rows_to_pages=*/true, "m");
+  EXPECT_EQ(base % layout.page_size(), 0u);
+}
+
+TEST(LayoutTest, SealAssignsOwnersAndRoundsRegion) {
+  GlobalLayout layout;
+  GlobalAddr a = layout.AllocPadded(layout.page_size() * 2, "a");
+  layout.SetInitialOwner(a + layout.page_size(), layout.page_size(), 1);
+  layout.Seal(2);
+  EXPECT_EQ(layout.InitialOwner(layout.PageOf(a)), 0);
+  EXPECT_EQ(layout.InitialOwner(layout.PageOf(a) + 1), 1);
+  EXPECT_EQ(layout.region_bytes() % layout.page_size(), 0u);
+}
+
+TEST(LayoutTest, GroupsReportAllMembers) {
+  GlobalLayout layout;
+  layout.AllocPadded(layout.page_size() * 5, "blob");
+  uint16_t g = layout.GroupPages(1, 3);
+  layout.Seal(1);
+  EXPECT_NE(g, kNoGroup);
+  EXPECT_EQ(layout.GroupPagesOf(2), (std::vector<PageId>{1, 2, 3}));
+  EXPECT_EQ(layout.GroupPagesOf(0), (std::vector<PageId>{0}));
+}
+
+TEST(LayoutTest, CustomPageSize) {
+  GlobalLayout layout(/*page_shift=*/9);  // 512-byte pages
+  EXPECT_EQ(layout.page_size(), 512u);
+  GlobalAddr a = layout.AllocPadded(100, "a");
+  GlobalAddr b = layout.AllocPadded(100, "b");
+  EXPECT_EQ(layout.PageOf(b) - layout.PageOf(a), 1u);
+}
+
+// --- Protocol behaviour through full clusters ---
+
+ClusterConfig Config(int nodes, Pcp pcp) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.dsm.pcp = pcp;
+  return cfg;
+}
+
+TEST(DsmProtocolTest, ImplicitInvalidateSendsNoInvalidationMessages) {
+  Cluster cluster(Config(4, Pcp::kImplicitInvalidate));
+  auto x = GlobalRef<double>::Alloc(cluster.layout(), "x");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int iter = 0; iter < 5; ++iter) {
+      if (env.node() == 0) {
+        x.Write(env, iter * 1.0);
+      }
+      env.Barrier();
+      EXPECT_DOUBLE_EQ(x.Read(env), iter * 1.0);
+      env.Barrier();
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  uint64_t invalidations = 0, implicit = 0;
+  for (const auto& nr : r.nodes) {
+    invalidations += nr.dsm.invalidations_sent;
+    implicit += nr.dsm.implicit_invalidations;
+  }
+  EXPECT_EQ(invalidations, 0u);
+  EXPECT_GT(implicit, 0u);
+}
+
+TEST(DsmProtocolTest, WriteInvalidateSendsInvalidations) {
+  Cluster cluster(Config(4, Pcp::kWriteInvalidate));
+  auto x = GlobalRef<double>::Alloc(cluster.layout(), "x");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int iter = 0; iter < 5; ++iter) {
+      if (env.node() == iter % env.nodes()) {
+        x.Write(env, iter * 1.0);
+      }
+      env.Barrier();
+      EXPECT_DOUBLE_EQ(x.Read(env), iter * 1.0);
+      env.Barrier();
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  uint64_t invalidations = 0;
+  for (const auto& nr : r.nodes) {
+    invalidations += nr.dsm.invalidations_sent;
+  }
+  EXPECT_GT(invalidations, 0u);
+}
+
+TEST(DsmProtocolTest, MigratoryKeepsOneCopy) {
+  // Under migratory even reads move the page; after the run exactly one node owns it.
+  Cluster cluster(Config(4, Pcp::kMigratory));
+  auto x = GlobalRef<int64_t>::Alloc(cluster.layout(), "x");
+  std::vector<int64_t> seen(4);
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      x.Write(env, 7);
+    }
+    env.Barrier();
+    for (int turn = 0; turn < env.nodes(); ++turn) {
+      if (turn == env.node()) {
+        seen[env.node()] = x.Read(env);
+      }
+      env.Barrier();
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  for (int64_t v : seen) {
+    EXPECT_EQ(v, 7);
+  }
+}
+
+TEST(DsmProtocolTest, OwnerForwardingChainsResolve) {
+  // Ownership hops 0 -> 1 -> 2 -> 3; then node 0 (whose hint is stale) must chase redirects.
+  Cluster cluster(Config(4, Pcp::kMigratory));
+  auto x = GlobalRef<int64_t>::Alloc(cluster.layout(), "x");
+  int64_t final_value = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int turn = 1; turn < env.nodes(); ++turn) {
+      if (env.node() == turn) {
+        x.Write(env, x.Read(env) + turn);
+      }
+      env.Barrier();
+    }
+    if (env.node() == 0) {
+      final_value = x.Read(env);
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_EQ(final_value, 1 + 2 + 3);
+  uint64_t forwards = 0;
+  for (const auto& nr : r.nodes) {
+    forwards += nr.dsm.page_forwards;
+  }
+  EXPECT_GT(forwards, 0u) << "stale hints should have produced at least one redirect";
+}
+
+TEST(DsmProtocolTest, PageGroupsFetchTogether) {
+  ClusterConfig cfg = Config(2, Pcp::kWriteInvalidate);
+  Cluster cluster(cfg);
+  const size_t ps = cluster.layout().page_size();
+  GlobalAddr blob = cluster.layout().AllocPadded(4 * ps, "blob");
+  cluster.layout().GroupPages(cluster.layout().PageOf(blob), 4);
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      for (size_t i = 0; i < 4 * ps; i += sizeof(uint64_t)) {
+        env.Write<uint64_t>(blob + i, i);
+      }
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      // Touch one byte of the first page: the whole group must arrive with one request.
+      EXPECT_EQ(env.Read<uint64_t>(blob), 0u);
+      for (size_t i = 0; i < 4 * ps; i += sizeof(uint64_t)) {
+        EXPECT_EQ(env.Read<uint64_t>(blob + i), i);
+      }
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_EQ(r.nodes[1].dsm.read_faults, 1u);
+  EXPECT_EQ(r.nodes[0].dsm.page_requests_served, 1u);
+}
+
+TEST(DsmProtocolTest, MirageWindowDefersTransfers) {
+  ClusterConfig cfg = Config(2, Pcp::kMigratory);
+  cfg.dsm.mirage_window = Milliseconds(50.0);
+  Cluster cluster(cfg);
+  auto x = GlobalRef<int64_t>::Alloc(cluster.layout(), "x");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      x.Write(env, 1);
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      x.Write(env, 2);  // migrates the page; hold window starts at install
+    }
+    env.Barrier();
+    if (env.node() == 0) {
+      // Request arrives inside node 1's hold window: deferred, then satisfied by retransmission.
+      EXPECT_EQ(x.Read(env), 2);
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  uint64_t deferrals = 0;
+  for (const auto& nr : r.nodes) {
+    deferrals += nr.dsm.mirage_deferrals;
+  }
+  EXPECT_GT(deferrals, 0u);
+}
+
+TEST(DsmProtocolTest, LostPageTrafficRecovers) {
+  // Packet reliability end-to-end: page requests and transfers survive heavy loss.
+  ClusterConfig cfg = Config(3, Pcp::kWriteInvalidate);
+  cfg.loss_rate = 0.15;
+  cfg.reliable_broadcast = true;  // barrier dissemination must survive loss too
+  cfg.packet.retransmit_timeout = Milliseconds(20.0);
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<int64_t>::Alloc(cluster.layout(), 1024, "arr");
+  int64_t sum = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      for (int i = 0; i < 1024; ++i) {
+        arr.Write(env, i, i);
+      }
+    }
+    env.Barrier();
+    // Every node reads everything; node 2 then rewrites a slice (ownership transfers under loss).
+    int64_t local = 0;
+    for (int i = 0; i < 1024; ++i) {
+      local += arr.Read(env, i);
+    }
+    EXPECT_EQ(local, 1024 * 1023 / 2);
+    env.Barrier();
+    if (env.node() == 2) {
+      for (int i = 0; i < 100; ++i) {
+        arr.Write(env, i, -1);
+      }
+    }
+    env.Barrier();
+    if (env.node() == 0) {
+      sum = 0;
+      for (int i = 0; i < 1024; ++i) {
+        sum += arr.Read(env, i);
+      }
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_EQ(sum, 1024 * 1023 / 2 - (100 * 99 / 2) - 100);
+  EXPECT_GT(r.net.messages_dropped, 0u);
+}
+
+class PageSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageSizeTest, ProtocolsWorkAtAnyPageSize) {
+  ClusterConfig cfg = Config(3, Pcp::kWriteInvalidate);
+  cfg.page_shift = static_cast<size_t>(GetParam());
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<double>::Alloc(cluster.layout(), 4096, "arr");
+  double total = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    const int per = 4096 / env.nodes();
+    const int lo = env.node() * per;
+    const int hi = env.node() == env.nodes() - 1 ? 4096 : lo + per;
+    if (env.node() == 0) {
+      for (int i = 0; i < 4096; ++i) {
+        arr.Write(env, i, 1.0);
+      }
+    }
+    env.Barrier();
+    for (int i = lo; i < hi; ++i) {
+      arr.Write(env, i, arr.Read(env, i) + env.node());
+    }
+    double local = 0;
+    for (int i = lo; i < hi; ++i) {
+      local += arr.Read(env, i);
+    }
+    total = env.Reduce(local, core::ReduceOp::kSum);
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  double expected = 4096;
+  for (int n = 0; n < 3; ++n) {
+    const int per = 4096 / 3;
+    const int size = n == 2 ? 4096 - 2 * per : per;
+    expected += static_cast<double>(n) * size;
+  }
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSizeTest, ::testing::Values(9, 12, 14));
+
+}  // namespace
+}  // namespace dfil::dsm

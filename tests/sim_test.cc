@@ -1,0 +1,162 @@
+// Tests for the discrete-event substrate: event queue ordering, network models, cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace dfil::sim {
+namespace {
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); }).Release();
+  q.Schedule(10, [&] { order.push_back(1); }).Release();
+  q.Schedule(20, [&] { order.push_back(2); }).Release();
+  while (!q.empty()) {
+    q.Pop().second();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); }).Release();
+  }
+  while (!q.empty()) {
+    q.Pop().second();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, CancelledEventsNeverFire) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h1 = q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; }).Release();
+  h1.Cancel();
+  EXPECT_EQ(q.NextTime(), 20);
+  while (!q.empty()) {
+    q.Pop().second();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancellingHeadExposesNext) {
+  EventQueue q;
+  EventHandle h = q.Schedule(5, [] {});
+  q.Schedule(15, [] {}).Release();
+  h.Cancel();
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.NextTime(), 15);
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  EventHandle a = q.Schedule(1, [] {});
+  EventHandle b = q.Schedule(2, [] {});
+  a.Cancel();
+  b.Cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.NextTime(), kSimTimeNever);
+}
+
+TEST(CostModelTest, WireTimeMatchesTenMegabit) {
+  CostModel m = CostModel::SunIpcEthernet();
+  // 4 KB page + 58 bytes framing at 1.25 bytes/us ~ 3.32 ms.
+  EXPECT_NEAR(ToMilliseconds(m.WireTime(4096)), 3.32, 0.01);
+  // Minimum frame applies to tiny payloads.
+  EXPECT_EQ(m.WireTime(1), m.WireTime(4));
+}
+
+TEST(SharedEthernetTest, TransmissionsSerializeOnTheMedium) {
+  CostModel m = CostModel::SunIpcEthernet();
+  SharedEthernet net(m, 0.0, 1);
+  TxPlan a = net.PlanUnicast(0, 1, 4096, /*ready=*/0);
+  TxPlan b = net.PlanUnicast(2, 3, 4096, /*ready=*/0);
+  // Same ready time, but the medium is busy: b starts after a finishes.
+  EXPECT_GE(b.deliver_at - a.deliver_at, m.WireTime(4096));
+  EXPECT_EQ(net.MediumBusyTime(), 2 * m.WireTime(4096));
+}
+
+TEST(SharedEthernetTest, BroadcastIsOneTransmission) {
+  CostModel m = CostModel::SunIpcEthernet();
+  SharedEthernet net(m, 0.0, 1);
+  std::vector<TxPlan> plans;
+  net.PlanBroadcast(0, {1, 2, 3}, 1000, 0, plans);
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans[0].deliver_at, plans[1].deliver_at);
+  EXPECT_EQ(plans[1].deliver_at, plans[2].deliver_at);
+  EXPECT_EQ(net.MediumBusyTime(), m.WireTime(1000));
+}
+
+TEST(SwitchedNetworkTest, DistinctSourcesDoNotContend) {
+  CostModel m = CostModel::SunIpcEthernet();
+  SwitchedNetwork net(m, 4, 0.0, 1);
+  TxPlan a = net.PlanUnicast(0, 1, 4096, 0);
+  TxPlan b = net.PlanUnicast(2, 3, 4096, 0);
+  EXPECT_EQ(a.deliver_at, b.deliver_at);  // full parallelism across links
+}
+
+TEST(SwitchedNetworkTest, SameSourceSerializesAtTheNic) {
+  CostModel m = CostModel::SunIpcEthernet();
+  SwitchedNetwork net(m, 4, 0.0, 1);
+  TxPlan a = net.PlanUnicast(0, 1, 4096, 0);
+  TxPlan b = net.PlanUnicast(0, 2, 4096, 0);
+  EXPECT_GE(b.deliver_at - a.deliver_at, m.WireTime(4096));
+}
+
+class LossRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRateTest, DropRateTracksProbability) {
+  CostModel m = CostModel::SunIpcEthernet();
+  SharedEthernet net(m, GetParam(), 42);
+  int dropped = 0;
+  constexpr int kFrames = 20000;
+  for (int i = 0; i < kFrames; ++i) {
+    if (net.PlanUnicast(0, 1, 100, static_cast<SimTime>(i) * 1000000).dropped) {
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kFrames, GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossRateTest, ::testing::Values(0.0, 0.01, 0.1, 0.5));
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork();
+  // The forked stream must not mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == child.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng r(1);
+  EXPECT_FALSE(r.NextBernoulli(0.0));
+  EXPECT_TRUE(r.NextBernoulli(1.0));
+}
+
+}  // namespace
+}  // namespace dfil::sim

@@ -1,0 +1,196 @@
+// Tests for the execution tracer and the high-level parallel-loop helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/trace.h"
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/core/parallel.h"
+
+namespace dfil {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::NodeEnv;
+
+TEST(TraceRecorderTest, SpansBalanceAndSerialize) {
+  TraceRecorder rec;
+  rec.Begin(0, 1, "test", "outer", Microseconds(1.0));
+  rec.Begin(0, 1, "test", "inner", Microseconds(2.0));
+  rec.Instant(0, 1, "test", "tick", Microseconds(3.0));
+  rec.End(0, 1, Microseconds(4.0));
+  rec.End(0, 1, Microseconds(5.0));
+  EXPECT_EQ(rec.open_spans(), 0u);
+  EXPECT_EQ(rec.event_count(), 5u);
+  std::ostringstream os;
+  rec.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceRecorderTest, EscapesNames) {
+  TraceRecorder rec;
+  rec.Instant(0, 0, "t", "a\"b\\c", 0);
+  std::ostringstream os;
+  rec.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("a\\\"b\\\\c"), std::string::npos);
+}
+
+core::GlobalArray1D<double> g_trace_arr;
+
+void TouchRemote(NodeEnv& env, int64_t i, int64_t, int64_t) {
+  g_trace_arr.Read(env, static_cast<size_t>(i) % g_trace_arr.size());
+  env.ChargeWork(Microseconds(4.0));
+}
+
+TEST(TraceIntegrationTest, ClusterRunProducesBalancedTrace) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.trace_enabled = true;
+  Cluster cluster(cfg);
+  g_trace_arr = core::GlobalArray1D<double>::Alloc(cluster.layout(), 2048, "arr");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      for (int i = 0; i < 2048; ++i) {
+        g_trace_arr.Write(env, i, 1.0);
+      }
+    }
+    env.Barrier();
+    core::ParallelFor(env, 512, &TouchRemote);
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_EQ(r.trace->open_spans(), 0u);
+  EXPECT_GT(r.trace->event_count(), 10u);
+  std::ostringstream os;
+  r.trace->WriteChromeTrace(os);
+  // Faults on node 1 must appear as spans (that is the overlap visualization).
+  EXPECT_NE(os.str().find("fault p"), std::string::npos);
+  EXPECT_NE(os.str().find("reduce"), std::string::npos);
+  EXPECT_NE(os.str().find("pool"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, TracingOffByDefault) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cluster(cfg);
+  core::RunReport r = cluster.Run([](NodeEnv& env) { env.Barrier(); });
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+// --- ParallelFor helpers ---
+
+core::GlobalArray1D<int64_t> g_par_arr;
+
+void Fill(NodeEnv& env, int64_t i, int64_t, int64_t) {
+  g_par_arr.Write(env, static_cast<size_t>(i), i * 3);
+  env.ChargeWork(Microseconds(1.0));
+}
+
+class ParallelForNodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForNodes, CoversEveryIndexExactlyOnce) {
+  ClusterConfig cfg;
+  cfg.nodes = GetParam();
+  Cluster cluster(cfg);
+  constexpr int kN = 1000;
+  g_par_arr = core::GlobalArray1D<int64_t>::Alloc(cluster.layout(), kN, "arr");
+  std::vector<int64_t> out(kN);
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    core::ParallelFor(env, kN, &Fill);
+    const core::Block b = core::BlockOf(kN, env.node(), env.nodes());
+    for (int64_t i = b.lo; i < b.hi; ++i) {
+      out[i] = g_par_arr.Read(env, static_cast<size_t>(i));
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], i * 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ParallelForNodes, ::testing::Values(1, 2, 3, 7, 8));
+
+TEST(BlockOfTest, PartitionIsExactAndBalanced) {
+  for (int nodes : {1, 2, 3, 7, 8, 13}) {
+    for (int64_t count : {0, 1, 5, 100, 1001}) {
+      int64_t covered = 0;
+      int64_t min_size = count + 1, max_size = -1;
+      for (int n = 0; n < nodes; ++n) {
+        const core::Block b = core::BlockOf(count, n, nodes);
+        covered += b.size();
+        min_size = std::min(min_size, b.size());
+        max_size = std::max(max_size, b.size());
+        if (n > 0) {
+          EXPECT_EQ(b.lo, core::BlockOf(count, n - 1, nodes).hi);
+        }
+      }
+      EXPECT_EQ(covered, count);
+      EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+struct Iterate2DState {
+  core::GlobalArray2D<double> grid[2];
+  int src = 0;
+};
+
+void Smooth(NodeEnv& env, int64_t i, int64_t j, int64_t) {
+  auto* st = static_cast<Iterate2DState*>(env.user_ctx);
+  if (i == 0 || j == 0 || i == 15 || j == 15) {
+    return;  // boundary
+  }
+  const auto& u = st->grid[st->src];
+  const auto& v = st->grid[1 - st->src];
+  v.Write(env, i, j,
+          0.25 * (u.Read(env, i - 1, j) + u.Read(env, i + 1, j) + u.Read(env, i, j - 1) +
+                  u.Read(env, i, j + 1)));
+  env.ChargeWork(Microseconds(2.0));
+}
+
+TEST(ParallelIterateTest, IterativeSweepWithAdaptivePools) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cluster(cfg);
+  auto a = core::GlobalArray2D<double>::Alloc(cluster.layout(), 16, 16, false, "a");
+  auto b = core::GlobalArray2D<double>::Alloc(cluster.layout(), 16, 16, false, "b");
+  std::vector<Iterate2DState> states(2);
+  double corner = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    Iterate2DState& st = states[env.node()];
+    st.grid[0] = a;
+    st.grid[1] = b;
+    env.user_ctx = &st;
+    if (env.node() == 0) {
+      for (int i = 0; i < 16; ++i) {
+        for (int j = 0; j < 16; ++j) {
+          a.Write(env, i, j, i == 0 ? 10.0 : 0.0);
+          b.Write(env, i, j, i == 0 ? 10.0 : 0.0);
+        }
+      }
+    }
+    env.Barrier();
+    core::ParallelIterate2D(env, 16, 16, &Smooth, [&](int iter) {
+      env.Barrier();
+      st.src = 1 - st.src;
+      return iter + 1 < 10;
+    });
+    if (env.node() == 0) {
+      corner = states[0].grid[states[0].src].Read(env, 1, 1);
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_GT(corner, 0.0);  // heat diffused inward
+  EXPECT_LT(corner, 10.0);
+}
+
+}  // namespace
+}  // namespace dfil
