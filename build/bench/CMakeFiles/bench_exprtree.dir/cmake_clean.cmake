@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exprtree.dir/bench_exprtree.cc.o"
+  "CMakeFiles/bench_exprtree.dir/bench_exprtree.cc.o.d"
+  "bench_exprtree"
+  "bench_exprtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exprtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

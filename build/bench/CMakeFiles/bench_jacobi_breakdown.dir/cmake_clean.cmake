@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jacobi_breakdown.dir/bench_jacobi_breakdown.cc.o"
+  "CMakeFiles/bench_jacobi_breakdown.dir/bench_jacobi_breakdown.cc.o.d"
+  "bench_jacobi_breakdown"
+  "bench_jacobi_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jacobi_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jacobi_pcp.dir/bench_jacobi_pcp.cc.o"
+  "CMakeFiles/bench_jacobi_pcp.dir/bench_jacobi_pcp.cc.o.d"
+  "bench_jacobi_pcp"
+  "bench_jacobi_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jacobi_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

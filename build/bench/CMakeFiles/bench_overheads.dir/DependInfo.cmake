@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_overheads.cc" "bench/CMakeFiles/bench_overheads.dir/bench_overheads.cc.o" "gcc" "bench/CMakeFiles/bench_overheads.dir/bench_overheads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dfil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dfil_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dfil_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_packet.dir/bench_packet.cc.o"
+  "CMakeFiles/bench_packet.dir/bench_packet.cc.o.d"
+  "bench_packet"
+  "bench_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

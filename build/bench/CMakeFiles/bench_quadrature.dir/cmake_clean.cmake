@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadrature.dir/bench_quadrature.cc.o"
+  "CMakeFiles/bench_quadrature.dir/bench_quadrature.cc.o.d"
+  "bench_quadrature"
+  "bench_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

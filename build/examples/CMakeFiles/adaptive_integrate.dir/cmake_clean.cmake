@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_integrate.dir/adaptive_integrate.cpp.o"
+  "CMakeFiles/adaptive_integrate.dir/adaptive_integrate.cpp.o.d"
+  "adaptive_integrate"
+  "adaptive_integrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

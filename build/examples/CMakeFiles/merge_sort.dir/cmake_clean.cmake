@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_sort.dir/merge_sort.cpp.o"
+  "CMakeFiles/merge_sort.dir/merge_sort.cpp.o.d"
+  "merge_sort"
+  "merge_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

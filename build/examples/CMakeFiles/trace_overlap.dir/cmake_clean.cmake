@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_overlap.dir/trace_overlap.cpp.o"
+  "CMakeFiles/trace_overlap.dir/trace_overlap.cpp.o.d"
+  "trace_overlap"
+  "trace_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_apps.dir/exprtree.cc.o"
+  "CMakeFiles/dfil_apps.dir/exprtree.cc.o.d"
+  "CMakeFiles/dfil_apps.dir/fft.cc.o"
+  "CMakeFiles/dfil_apps.dir/fft.cc.o.d"
+  "CMakeFiles/dfil_apps.dir/jacobi.cc.o"
+  "CMakeFiles/dfil_apps.dir/jacobi.cc.o.d"
+  "CMakeFiles/dfil_apps.dir/matmul.cc.o"
+  "CMakeFiles/dfil_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/dfil_apps.dir/quadrature.cc.o"
+  "CMakeFiles/dfil_apps.dir/quadrature.cc.o.d"
+  "CMakeFiles/dfil_apps.dir/sor.cc.o"
+  "CMakeFiles/dfil_apps.dir/sor.cc.o.d"
+  "libdfil_apps.a"
+  "libdfil_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

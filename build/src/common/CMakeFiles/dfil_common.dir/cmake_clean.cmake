@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_common.dir/check.cc.o"
+  "CMakeFiles/dfil_common.dir/check.cc.o.d"
+  "CMakeFiles/dfil_common.dir/log.cc.o"
+  "CMakeFiles/dfil_common.dir/log.cc.o.d"
+  "CMakeFiles/dfil_common.dir/trace.cc.o"
+  "CMakeFiles/dfil_common.dir/trace.cc.o.d"
+  "libdfil_common.a"
+  "libdfil_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

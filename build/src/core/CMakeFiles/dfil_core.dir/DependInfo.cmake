@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/dfil_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/dfil_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/forkjoin.cc" "src/core/CMakeFiles/dfil_core.dir/forkjoin.cc.o" "gcc" "src/core/CMakeFiles/dfil_core.dir/forkjoin.cc.o.d"
+  "/root/repo/src/core/node_env.cc" "src/core/CMakeFiles/dfil_core.dir/node_env.cc.o" "gcc" "src/core/CMakeFiles/dfil_core.dir/node_env.cc.o.d"
+  "/root/repo/src/core/node_runtime.cc" "src/core/CMakeFiles/dfil_core.dir/node_runtime.cc.o" "gcc" "src/core/CMakeFiles/dfil_core.dir/node_runtime.cc.o.d"
+  "/root/repo/src/core/pool_engine.cc" "src/core/CMakeFiles/dfil_core.dir/pool_engine.cc.o" "gcc" "src/core/CMakeFiles/dfil_core.dir/pool_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/dfil_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dfil_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

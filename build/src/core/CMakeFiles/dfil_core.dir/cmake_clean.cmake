@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_core.dir/cluster.cc.o"
+  "CMakeFiles/dfil_core.dir/cluster.cc.o.d"
+  "CMakeFiles/dfil_core.dir/forkjoin.cc.o"
+  "CMakeFiles/dfil_core.dir/forkjoin.cc.o.d"
+  "CMakeFiles/dfil_core.dir/node_env.cc.o"
+  "CMakeFiles/dfil_core.dir/node_env.cc.o.d"
+  "CMakeFiles/dfil_core.dir/node_runtime.cc.o"
+  "CMakeFiles/dfil_core.dir/node_runtime.cc.o.d"
+  "CMakeFiles/dfil_core.dir/pool_engine.cc.o"
+  "CMakeFiles/dfil_core.dir/pool_engine.cc.o.d"
+  "libdfil_core.a"
+  "libdfil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_dsm.dir/dsm_node.cc.o"
+  "CMakeFiles/dfil_dsm.dir/dsm_node.cc.o.d"
+  "CMakeFiles/dfil_dsm.dir/layout.cc.o"
+  "CMakeFiles/dfil_dsm.dir/layout.cc.o.d"
+  "libdfil_dsm.a"
+  "libdfil_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

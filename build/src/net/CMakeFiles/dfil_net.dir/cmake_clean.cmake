@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_net.dir/packet.cc.o"
+  "CMakeFiles/dfil_net.dir/packet.cc.o.d"
+  "libdfil_net.a"
+  "libdfil_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

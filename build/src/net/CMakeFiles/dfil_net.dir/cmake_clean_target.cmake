@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfil_net.a"
+)

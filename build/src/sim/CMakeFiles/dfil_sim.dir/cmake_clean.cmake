@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_sim.dir/machine.cc.o"
+  "CMakeFiles/dfil_sim.dir/machine.cc.o.d"
+  "CMakeFiles/dfil_sim.dir/network.cc.o"
+  "CMakeFiles/dfil_sim.dir/network.cc.o.d"
+  "libdfil_sim.a"
+  "libdfil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

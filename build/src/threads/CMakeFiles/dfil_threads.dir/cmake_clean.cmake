@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_threads.dir/context.cc.o"
+  "CMakeFiles/dfil_threads.dir/context.cc.o.d"
+  "CMakeFiles/dfil_threads.dir/context_switch_x86_64.S.o"
+  "CMakeFiles/dfil_threads.dir/server_thread.cc.o"
+  "CMakeFiles/dfil_threads.dir/server_thread.cc.o.d"
+  "CMakeFiles/dfil_threads.dir/stack.cc.o"
+  "CMakeFiles/dfil_threads.dir/stack.cc.o.d"
+  "libdfil_threads.a"
+  "libdfil_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/dfil_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accounting_test.cc" "tests/CMakeFiles/dfil_tests.dir/accounting_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/accounting_test.cc.o.d"
+  "/root/repo/tests/adaptive_pools_test.cc" "tests/CMakeFiles/dfil_tests.dir/adaptive_pools_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/adaptive_pools_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/dfil_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/core_smoke_test.cc" "tests/CMakeFiles/dfil_tests.dir/core_smoke_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/core_smoke_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/dfil_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/dsm_test.cc" "tests/CMakeFiles/dfil_tests.dir/dsm_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/dsm_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/dfil_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/dfil_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/packet_test.cc" "tests/CMakeFiles/dfil_tests.dir/packet_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/packet_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/dfil_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/threads_test.cc" "tests/CMakeFiles/dfil_tests.dir/threads_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/threads_test.cc.o.d"
+  "/root/repo/tests/trace_parallel_test.cc" "tests/CMakeFiles/dfil_tests.dir/trace_parallel_test.cc.o" "gcc" "tests/CMakeFiles/dfil_tests.dir/trace_parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dfil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dfil_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dfil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dfil_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfil_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

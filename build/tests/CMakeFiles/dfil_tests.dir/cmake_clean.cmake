@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfil_tests.dir/accounting_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/accounting_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/adaptive_pools_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/adaptive_pools_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/apps_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/apps_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/core_smoke_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/core_smoke_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/core_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/dsm_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/dsm_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/machine_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/machine_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/packet_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/packet_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/sim_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/threads_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/threads_test.cc.o.d"
+  "CMakeFiles/dfil_tests.dir/trace_parallel_test.cc.o"
+  "CMakeFiles/dfil_tests.dir/trace_parallel_test.cc.o.d"
+  "dfil_tests"
+  "dfil_tests.pdb"
+  "dfil_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfil_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
