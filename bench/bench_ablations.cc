@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace dfil;
   const bool quick = bench::QuickMode(argc, argv);
+  bench::JsonReport jr("ablations");
 
   // --- 1. Network fabric: shared Ethernet vs switched vs 100 Mb/s (Jacobi DF, 8 nodes) ---
   bench::Header("Ablation 1: network fabric (Jacobi DF, 8 nodes)");
@@ -38,6 +39,11 @@ int main(int argc, char** argv) {
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("%-34s %8.2f s (medium busy %.2f s)\n", net.name, run.seconds(),
                   ToSeconds(run.report.medium_busy));
+      jr.AddRow()
+          .Set("ablation", 1)
+          .Set("network", static_cast<double>(&net - nets))
+          .Set("seconds", run.seconds())
+          .Set("medium_busy_s", ToSeconds(run.report.medium_busy));
     }
   }
 
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("quadrature (imbalanced), steal %-3s  %8.2f s\n", steal ? "ON" : "OFF",
                   run.seconds());
+      jr.AddRow().Set("ablation", 2).Set("steal", steal ? 1 : 0).Set("seconds", run.seconds());
     }
     std::printf("(deviation from the paper, documented in DESIGN.md: our pair-shipping tree +\n"
                 " demand-driven pruning already balance this integrand, so stealing is a safety\n"
@@ -90,6 +97,12 @@ int main(int argc, char** argv) {
       std::printf("prune threshold %3d: %8.2f s  (%llu forks pruned to calls, %llu queued)\n",
                   threshold, run.seconds(), static_cast<unsigned long long>(pruned),
                   static_cast<unsigned long long>(local));
+      jr.AddRow()
+          .Set("ablation", 3)
+          .Set("prune_threshold", threshold)
+          .Set("seconds", run.seconds())
+          .Set("forks_pruned", static_cast<double>(pruned))
+          .Set("forks_queued", static_cast<double>(local));
     }
   }
 
@@ -119,7 +132,14 @@ int main(int argc, char** argv) {
       std::printf("window %5.1f ms: %8.2f s  (%llu deferrals, %llu faults)\n", window_ms,
                   run.seconds(), static_cast<unsigned long long>(deferrals),
                   static_cast<unsigned long long>(faults));
+      jr.AddRow()
+          .Set("ablation", 4)
+          .Set("mirage_window_ms", window_ms)
+          .Set("seconds", run.seconds())
+          .Set("mirage_deferrals", static_cast<double>(deferrals))
+          .Set("faults", static_cast<double>(faults));
     }
   }
+  jr.Write();
   return 0;
 }

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   bench::Header("Figure 8: Barrier synchronization, " + std::to_string(barriers) +
                 " barriers (paper: 1000)");
 
+  bench::JsonReport jr("barrier");
+  jr.Scalar("barriers", barriers);
   const double paper_ms[] = {3.20, 5.29, 8.45};
   const int node_counts[] = {2, 4, 8};
   std::printf("%-6s | %14s | %14s | %10s\n", "nodes", "measured (ms)", "paper (ms)", "messages");
@@ -28,6 +30,11 @@ int main(int argc, char** argv) {
     std::printf("%-6d | %14.2f | %14.2f | %10.1f per barrier\n", nodes,
                 ToMilliseconds(r.makespan) / barriers, paper_ms[i],
                 static_cast<double>(r.net.messages_sent) / barriers);
+    jr.AddRow()
+        .Set("nodes", nodes)
+        .Set("per_barrier_ms", ToMilliseconds(r.makespan) / barriers)
+        .Set("paper_ms", paper_ms[i])
+        .Set("messages_per_barrier", static_cast<double>(r.net.messages_sent) / barriers);
   }
   std::printf("(tournament + broadcast: p losers' reports + acks + 1 broadcast = O(p) messages)\n");
 
@@ -62,8 +69,13 @@ int main(int argc, char** argv) {
       });
       DFIL_CHECK(r.completed) << r.deadlock_report;
       std::printf(" %8.2f", ToMilliseconds(r.makespan) / reps);
+      jr.AddRow()
+          .Set("algorithm", static_cast<double>(&k - kinds))
+          .Set("nodes", nodes)
+          .Set("per_barrier_ms", ToMilliseconds(r.makespan) / reps);
     }
     std::printf("\n");
   }
+  jr.Write();
   return 0;
 }

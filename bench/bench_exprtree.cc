@@ -39,5 +39,11 @@ int main(int argc, char** argv) {
   }
   bench::PrintSpeedupTable(rows);
   std::printf("paper's analytic speedup cap for height 7: 3.85 at 4 nodes, 7.06 at 8 nodes\n");
+  bench::JsonReport jr("exprtree");
+  jr.Scalar("matrix_dim", p.matrix_dim);
+  jr.Scalar("height", p.height);
+  jr.Scalar("sequential_s", seq.seconds());
+  bench::EmitSpeedupRows(&jr, rows);
+  jr.Write();
   return 0;
 }

@@ -53,5 +53,11 @@ int main(int argc, char** argv) {
     }
   }
   bench::PrintSpeedupTable(rows);
+  bench::JsonReport jr("jacobi");
+  jr.Scalar("n", p.n);
+  jr.Scalar("iterations", p.iterations);
+  jr.Scalar("sequential_s", seq.seconds());
+  bench::EmitSpeedupRows(&jr, rows);
+  jr.Write();
   return 0;
 }

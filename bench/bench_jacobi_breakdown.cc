@@ -51,10 +51,20 @@ int main(int argc, char** argv) {
   };
   std::printf("%-15s | %8s | %13s | %8s || paper (master / interior / tail)\n", "category",
               "master", "interior", "tail");
+  bench::JsonReport jr("jacobi_breakdown");
+  jr.Scalar("n", p.n);
+  jr.Scalar("iterations", p.iterations);
+  jr.Scalar("total_s", df.seconds());
   for (const Row& row : rows) {
     auto [lo, hi] = range(row.cat);
     std::printf("%-15s | %8.2f | %5.2f - %5.2f | %8.2f || %s\n", row.name, get(0, row.cat), lo,
                 hi, get(7, row.cat), row.paper);
+    jr.AddRow()
+        .Set("category", static_cast<double>(row.cat))
+        .Set("master_s", get(0, row.cat))
+        .Set("interior_lo_s", lo)
+        .Set("interior_hi_s", hi)
+        .Set("tail_s", get(7, row.cat));
   }
   std::printf("total execution time: %.1f s (paper, profiled build: 42.1 s)\n", df.seconds());
   std::printf("faults/node/iter: master and tail fault on 1 page, interior nodes on 2 (paper).\n");
@@ -64,5 +74,6 @@ int main(int argc, char** argv) {
                 static_cast<double>(df.report.nodes[n].dsm.read_faults) / p.iterations,
                 static_cast<unsigned long long>(df.report.nodes[n].dsm.page_requests_served));
   }
+  jr.Write();
   return 0;
 }

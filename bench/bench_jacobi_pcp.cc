@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
   const int node_counts[] = {1, 2, 4, 8};
   const double scale = base_params.iterations / 360.0;
 
+  bench::JsonReport jr("jacobi_pcp");
+  jr.Scalar("n", base_params.n);
+  jr.Scalar("iterations", base_params.iterations);
   double fig5[4] = {0, 0, 0, 0};
   double fig11[4] = {0, 0, 0, 0};
   double fig12[4] = {0, 0, 0, 0};
@@ -50,6 +53,13 @@ int main(int argc, char** argv) {
       apps::AppRun run = apps::RunJacobiDf(p, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf(" %8.1f", run.seconds());
+      jr.AddRow()
+          .Set("variant", static_cast<double>(&v - variants))
+          .Set("pools", v.pools)
+          .Set("pcp", static_cast<double>(v.pcp))
+          .Set("nodes", node_counts[i])
+          .Set("seconds", run.seconds())
+          .Set("paper_s", v.paper[i] * scale);
       if (v.pools == 3 && v.pcp == dsm::Pcp::kImplicitInvalidate) {
         fig5[i] = run.seconds();
       } else if (v.pcp == dsm::Pcp::kWriteInvalidate) {
@@ -70,5 +80,6 @@ int main(int argc, char** argv) {
   std::printf("overlap gain (3 pools over 1 pool):               4 nodes %+5.1f%%  8 nodes "
               "%+5.1f%%   (paper: 9%% and 21%%)\n",
               100.0 * (fig12[2] - fig5[2]) / fig12[2], 100.0 * (fig12[3] - fig5[3]) / fig12[3]);
+  jr.Write();
   return 0;
 }

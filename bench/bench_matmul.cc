@@ -47,5 +47,9 @@ int main(int argc, char** argv) {
     }
   }
   bench::PrintSpeedupTable(rows);
+  bench::JsonReport jr("matmul");
+  jr.Scalar("sequential_s", seq.seconds());
+  bench::EmitSpeedupRows(&jr, rows);
+  jr.Write();
   return 0;
 }

@@ -23,6 +23,7 @@ void NopFilament(core::NodeEnv&, int64_t, int64_t, int64_t) {}
 // Measures the virtual-time cost per filament by running a big pool through the runtime.
 void MeasureSimulatedCosts() {
   bench::Header("Figure 9: Filaments overheads (simulated charges vs paper)");
+  bench::JsonReport jr("overheads");
   constexpr int kN = 100000;
 
   // Strip-shaped (pattern-recognized, "inlined") filaments.
@@ -39,6 +40,7 @@ void MeasureSimulatedCosts() {
       std::printf("%-24s %8.3f us/op %12.0f ops/sec   (paper: 2.10 us, 457,000/sec)\n",
                   "filament create", ToMicroseconds(created) / kN,
                   kN / ToSeconds(created));
+      jr.AddRow().Set("op", 0).Set("us_per_op", ToMicroseconds(created) / kN);
       const SimTime before_run = env.Now();
       env.RunPools();
       inlined_total = env.Now() - before_run;
@@ -48,6 +50,7 @@ void MeasureSimulatedCosts() {
   std::printf("%-24s %8.3f us/op %12.0f ops/sec   (paper: 0.126 us, 7,950,000/sec)\n",
               "filament switch inlined", ToMicroseconds(inlined_total) / kN,
               kN / ToSeconds(inlined_total));
+  jr.AddRow().Set("op", 1).Set("us_per_op", ToMicroseconds(inlined_total) / kN);
 
   // Non-strip (descriptor-traversal) filaments: alternate two functions to defeat the pattern
   // recognizer.
@@ -67,6 +70,7 @@ void MeasureSimulatedCosts() {
     DFIL_CHECK(r.completed);
     std::printf("%-24s %8.3f us/op %12.0f ops/sec   (paper: 0.643 us, 1,560,000/sec)\n",
                 "filament switch", ToMicroseconds(total) / kN, kN / ToSeconds(total));
+    jr.AddRow().Set("op", 2).Set("us_per_op", ToMicroseconds(total) / kN);
   }
 
   // Server-thread context switch cost is charged directly from the model.
@@ -74,6 +78,7 @@ void MeasureSimulatedCosts() {
   std::printf("%-24s %8.3f us/op %12.0f ops/sec   (paper: 48.8 us, 20,500/sec)\n",
               "thread context switch", ToMicroseconds(costs.thread_context_switch),
               1e6 / ToMicroseconds(costs.thread_context_switch));
+  jr.AddRow().Set("op", 3).Set("us_per_op", ToMicroseconds(costs.thread_context_switch));
 
   // Quiet-network page fault: node 1 faults kF pages owned by node 0; nothing else runs.
   {
@@ -96,7 +101,9 @@ void MeasureSimulatedCosts() {
     DFIL_CHECK(r.completed);
     std::printf("%-24s %8.1f us/op %12.0f ops/sec   (paper: 4120 us, 238/sec)\n", "page fault",
                 ToMicroseconds(total) / kF, kF / ToSeconds(total));
+    jr.AddRow().Set("op", 4).Set("us_per_op", ToMicroseconds(total) / kF);
   }
+  jr.Write();
 }
 
 // --- Real host-side microbenchmarks of this implementation ---

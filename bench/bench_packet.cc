@@ -66,6 +66,8 @@ class MiniHost : public sim::NodeHost {
   SimTime clock_ = 0;
 };
 
+bench::JsonReport* g_report = nullptr;
+
 void RunScenario(const char* name, std::set<int> drop, std::set<int> delay) {
   sim::CostModel costs = sim::CostModel::SunIpcEthernet();
   auto machine = std::make_unique<sim::Machine>(
@@ -97,17 +99,26 @@ void RunScenario(const char* name, std::set<int> drop, std::set<int> delay) {
               static_cast<unsigned long long>(a.endpoint->stats().retransmissions),
               static_cast<unsigned long long>(a.endpoint->stats().duplicate_replies));
   DFIL_CHECK_EQ(result, 42);
+  if (g_report != nullptr) {
+    g_report->AddRow()
+        .Set("done_at_ms", ToMilliseconds(done_at))
+        .Set("retransmissions", static_cast<double>(a.endpoint->stats().retransmissions))
+        .Set("duplicate_replies", static_cast<double>(a.endpoint->stats().duplicate_replies));
+  }
 }
 
 }  // namespace
 
 int main() {
   bench::Header("Figure 3: Packet protocol scenarios (request/reply over unreliable datagrams)");
+  bench::JsonReport jr("packet");
+  g_report = &jr;
   RunScenario("(a) no problems", {}, {});
   RunScenario("(b) request lost", {0}, {});
   RunScenario("(c) reply lost", {1}, {});
   RunScenario("(d) reply delayed", {}, {1});
   std::printf("\nOnly requests are buffered (<= 20 bytes); replies are rebuilt from current "
               "state on retransmitted requests.\n");
+  jr.Write();
   return 0;
 }

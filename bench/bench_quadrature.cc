@@ -59,5 +59,9 @@ int main(int argc, char** argv) {
     }
   }
   bench::PrintSpeedupTable(rows);
+  bench::JsonReport jr("quadrature");
+  jr.Scalar("sequential_s", seq.seconds());
+  bench::EmitSpeedupRows(&jr, rows);
+  jr.Write();
   return 0;
 }

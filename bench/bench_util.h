@@ -8,12 +8,79 @@
 #define DFIL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/config.h"
 
 namespace dfil::bench {
+
+// Machine-readable bench output: every bench emits BENCH_<name>.json next to its table so result
+// tracking across commits does not depend on scraping stdout. The format is flat on purpose —
+// one object with scalar config fields plus a "rows" array of {key: number} objects, one row per
+// table line.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Scalar(const std::string& key, double value) { scalars_.emplace_back(key, value); }
+
+  class Row {
+   public:
+    Row& Set(const std::string& key, double value) {
+      fields_.emplace_back(key, value);
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, double>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Writes BENCH_<name>.json into the current directory. Called explicitly (not from the
+  // destructor) so a crashed bench leaves no half-written report behind.
+  void Write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& [k, v] : scalars_) {
+      out << ",\n  \"" << k << "\": " << Number(v);
+    }
+    out << ",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {";
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << "\"" << fields[j].first
+            << "\": " << Number(fields[j].second);
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote BENCH_%s.json\n", name_.c_str());
+  }
+
+ private:
+  static std::string Number(double v) {
+    char buf[32];
+    if (v == static_cast<long long>(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<Row> rows_;
+};
 
 inline bool QuickMode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -47,6 +114,20 @@ inline void PrintSpeedupTable(const std::vector<SpeedupRow>& rows) {
     std::printf("%-6d | %9.1f %8.2f | %9.1f %8.2f || %9.1f %8.2f | %9.1f %8.2f\n", r.nodes,
                 r.cg_time, r.seq_time / r.cg_time, r.df_time, r.seq_time / r.df_time, r.paper_cg,
                 r.paper_seq / r.paper_cg, r.paper_df, r.paper_seq / r.paper_df);
+  }
+}
+
+inline void EmitSpeedupRows(JsonReport* jr, const std::vector<SpeedupRow>& rows) {
+  for (const SpeedupRow& r : rows) {
+    jr->AddRow()
+        .Set("nodes", r.nodes)
+        .Set("cg_s", r.cg_time)
+        .Set("df_s", r.df_time)
+        .Set("seq_s", r.seq_time)
+        .Set("cg_speedup", r.seq_time / r.cg_time)
+        .Set("df_speedup", r.seq_time / r.df_time)
+        .Set("paper_cg_s", r.paper_cg)
+        .Set("paper_df_s", r.paper_df);
   }
 }
 

@@ -91,6 +91,18 @@ struct DsmStats {
   uint64_t mirage_deferrals = 0;        // page requests delayed by the Mirage hold window
   uint64_t fetch_deferrals = 0;         // page requests deferred because the entry was in flux
 
+  // Prefetch / bulk-transfer pipeline.
+  uint64_t single_page_requests = 0;  // single-page request messages sent (incl. redirect chases)
+  uint64_t bulk_requests = 0;         // bulk page-run request messages sent
+  uint64_t bulk_pages_requested = 0;  // pages covered by bulk requests
+  uint64_t bulk_pages_served = 0;     // owner side: pages shipped inside bulk replies
+  uint64_t bulk_misses = 0;           // pages a bulk reply reported as not-owned-here
+  uint64_t prefetched_pages = 0;      // pages installed ahead of any demand access
+  uint64_t prefetch_wasted = 0;       // prefetched copies discarded without ever being read
+
+  // Page-request message count (the Figure-9 hot-path traffic this node generated).
+  uint64_t page_request_messages() const { return single_page_requests + bulk_requests; }
+
   void Reset() { *this = DsmStats{}; }
 };
 

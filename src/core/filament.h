@@ -60,6 +60,22 @@ struct Pool {
   // True if any filament of this pool faulted during the current sweep (frontloading input).
   bool faulted_this_sweep = false;
 
+  // Strip-aware prefetch hints (DESIGN.md §6): the pages this pool's filaments faulted on in
+  // previous runs, with the refault period each page exhibited. Iterative programs commonly
+  // alternate between two buffers (Jacobi swaps grids every sweep), so a pool's read footprint is
+  // periodic rather than constant — replaying last run's footprint verbatim would prefetch the
+  // idle buffer's pages every sweep. Instead each hint learns its period from the distance
+  // between its last two demand faults and is issued only on runs matching that phase. Hints
+  // persist across runs (a successful prefetch prevents the fault that would regenerate them) and
+  // are dropped when the DSM reports the prefetched copy died untouched (footprint shifted).
+  struct HintRecord {
+    uint32_t page;
+    int64_t last_fault_run;  // pool run index of this page's most recent demand fault
+    int64_t period;          // run distance between its last two faults; 0 = not yet known
+  };
+  std::vector<HintRecord> hints;
+  int64_t runs = 0;  // executions of this pool, the clock for hint periods
+
   // Adaptive pool assignment (the paper's future-work item "automatic clustering of filaments
   // that share pages into execution pools"): while true, the engine profiles which page each
   // filament first faults on during the sweep, then repartitions this pool's filaments into

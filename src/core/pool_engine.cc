@@ -228,9 +228,48 @@ void PoolEngine::RunnerLoop() {
   }
 }
 
+void PoolEngine::IssuePrefetchHints(Pool* pool) {
+  if (pool->hints.empty()) {
+    return;
+  }
+  dsm::DsmNode& dsm = rt_->dsm();
+  // Drop hints whose last prefetch died untouched (the footprint shifted), then collect the
+  // pages whose learned period puts a fault in THIS run. A hint with an unknown period (seen
+  // only one fault so far) is withheld: issuing it blind would prefetch the idle buffer of a
+  // double-buffered program on the off sweeps.
+  std::vector<Pool::HintRecord>& hints = pool->hints;
+  hints.erase(std::remove_if(hints.begin(), hints.end(),
+                             [&](const Pool::HintRecord& h) {
+                               return dsm.ConsumePrefetchWasted(h.page);
+                             }),
+              hints.end());
+  std::vector<uint32_t> due;
+  for (const Pool::HintRecord& h : hints) {
+    if (h.period > 0 && (pool->runs - h.last_fault_run) % h.period == 0) {
+      due.push_back(h.page);
+    }
+  }
+  // Issue the due pages as bulk prefetches: one request per contiguous run.
+  std::sort(due.begin(), due.end());
+  due.erase(std::unique(due.begin(), due.end()), due.end());
+  size_t i = 0;
+  while (i < due.size()) {
+    size_t j = i + 1;
+    while (j < due.size() && due[j] == due[j - 1] + 1) {
+      ++j;
+    }
+    dsm.Prefetch(due[i], static_cast<int>(j - i), dsm::AccessMode::kRead);
+    i = j;
+  }
+}
+
 void PoolEngine::ExecutePool(Pool* pool) {
   if (!pool->patterns_valid) {
     BuildPatterns(pool);
+  }
+  ++pool->runs;
+  if (rt_->config().dsm.prefetch_hints) {
+    IssuePrefetchHints(pool);
   }
   const sim::CostModel& costs = rt_->costs();
   FilamentStats& fs = rt_->fil_stats();
@@ -262,6 +301,18 @@ void PoolEngine::OnThreadBlockedOnPage(PageId page) {
   }
   Pool* pool = it->second.pool;
   pool->faulted_this_sweep = true;
+  if (rt_->config().dsm.prefetch_hints) {
+    auto hit = std::find_if(pool->hints.begin(), pool->hints.end(),
+                            [&](const Pool::HintRecord& h) { return h.page == page; });
+    if (hit == pool->hints.end()) {
+      pool->hints.push_back(Pool::HintRecord{page, pool->runs, 0});
+    } else if (pool->runs > hit->last_fault_run) {
+      // Refault in a later run: the distance is this page's refault period (1 for a stable
+      // footprint, 2 for double-buffered programs). Repeated faults within one run don't count.
+      hit->period = pool->runs - hit->last_fault_run;
+      hit->last_fault_run = pool->runs;
+    }
+  }
   if (pool->auto_profile) {
     pool->fault_profile.emplace_back(it->second.ordinal, page);
   }

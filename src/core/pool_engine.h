@@ -57,6 +57,8 @@ class PoolEngine {
  private:
   void RunnerLoop();
   void ExecutePool(Pool* pool);
+  // prefetch_hints mode: prune + re-issue the pool's fault footprint as bulk prefetches.
+  void IssuePrefetchHints(Pool* pool);
   static void BuildPatterns(Pool* pool);
   void EnsureRunnerForRemainingPools();
   // Splits profiled auto pools into per-page pools after the sweep.

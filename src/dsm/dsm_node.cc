@@ -16,6 +16,10 @@ constexpr uint8_t kReplyRedirect = 1;
 struct RequestBody {
   PageId page;
   AccessMode mode;
+  // Identifies the requester's fault, not just the requester: a grant record may only answer
+  // retransmissions of the exact fault it served. A later fault by the same node that chases back
+  // to a previous owner (ownership cycles under migratory) must NOT see the old grant's bytes.
+  uint32_t fault_seq;
 };
 
 struct ReplyHeader {
@@ -28,6 +32,21 @@ struct ReplyHeader {
 struct PageBlockHeader {
   PageId page;
   uint64_t copyset;
+};
+
+// Bulk transfers: one request names a page run [first, first+count); the reply ships the pages
+// the replier owns as read-only copies and lists the rest as misses, so it can be rebuilt
+// idempotently from current state like every other page reply.
+struct BulkRequestBody {
+  PageId first;
+  uint16_t count;
+  AccessMode mode;
+};
+
+struct BulkReplyHeader {
+  NodeId owner_hint;  // the replying node
+  uint16_t npages;    // PageBlockHeader + page bytes follow
+  uint16_t nmisses;   // then this many PageIds the replier does not own
 };
 
 uint64_t Bit(NodeId n) { return uint64_t{1} << n; }
@@ -65,6 +84,10 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
       net::Service::kInvalidate,
       [this](NodeId src, net::WireReader body) { return ServeInvalidate(src, body); },
       /*idempotent=*/true, TimeCategory::kDataTransfer);
+  packet_->RegisterService(
+      net::Service::kBulkPageRequest,
+      [this](NodeId src, net::WireReader body) { return ServeBulkRequest(src, body); },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
 }
 
 std::byte* DsmNode::TryAccess(GlobalAddr addr, size_t len, AccessMode mode) {
@@ -76,6 +99,9 @@ std::byte* DsmNode::TryAccess(GlobalAddr addr, size_t len, AccessMode mode) {
     if (!PagePresent(table_[p], mode)) {
       return nullptr;
     }
+  }
+  for (PageId p = first; p <= last; ++p) {
+    NotePageUsed(table_[p]);
   }
   return replica_.data() + addr;
 }
@@ -92,6 +118,9 @@ std::byte* DsmNode::Access(GlobalAddr addr, size_t len, AccessMode mode) {
       }
     }
     if (missing == kNoPage) {
+      for (PageId p = first; p <= last; ++p) {
+        NotePageUsed(table_[p]);
+      }
       return replica_.data() + addr;
     }
     FaultAndWait(missing, mode);
@@ -106,6 +135,15 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
     stats_.write_faults++;
   }
   hooks_.charge(TimeCategory::kDataTransfer, costs_->fault_handle);
+  if (config_.prefetch_detector) {
+    NoteFaultForDetector(page, mode);
+  }
+  if (PagePresent(e, mode)) {
+    // The fault-handling charge can dispatch pending events (e.g. the last invalidation ack of an
+    // in-flight upgrade), completing the fetch before we pick a branch below. Acting on the stale
+    // pre-charge view would re-request a page we already hold — from ourselves.
+    return;
+  }
 
   const bool upgrade_as_owner = config_.pcp == Pcp::kWriteInvalidate && e.owner &&
                                 e.state == PageState::kReadOnly && mode == AccessMode::kWrite;
@@ -120,6 +158,7 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
   } else if (!e.fetching) {
     e.fetching = true;
     e.fetch_mode = mode;
+    ++e.fetch_seq;  // a fresh fault; redirect re-sends within it keep the same seq
     ++pending_fetches_;
     SendPageRequest(page, mode, e.probable_owner);
   }
@@ -180,8 +219,9 @@ void DsmNode::StartInvalidations(PageId page, uint64_t targets) {
 
 void DsmNode::SendPageRequest(PageId page, AccessMode mode, NodeId target) {
   DFIL_CHECK_NE(target, self_) << "owner hint points at self on a fault (page " << page << ")";
+  stats_.single_page_requests++;
   net::WireWriter w;
-  w.Put(RequestBody{page, mode});
+  w.Put(RequestBody{page, mode, table_[page].fetch_seq});
   packet_->SendRequest(
       target, net::Service::kPageRequest, w.Take(),
       [this, page, mode, target](net::Payload reply) {
@@ -194,6 +234,24 @@ void DsmNode::SendPageRequest(PageId page, AccessMode mode, NodeId target) {
 std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReader body) {
   const auto req = body.Get<RequestBody>();
   PageEntry& e = table_[req.page];
+
+  if (e.granted_to == src && e.grant_seq == req.fault_seq && e.state == PageState::kInvalid &&
+      !e.owner) {
+    // A retransmission of the exact fault our last transfer answered: the requester never saw the
+    // reply (it was lost), so re-serve the identical transfer from the stale frame. This keeps
+    // page replies unbuffered yet loss-safe. Two subtleties:
+    //  - it must come BEFORE the in-transition defer: after granting we may re-fault on this page
+    //    ourselves, and our own fetch then chases a hint chain that runs through the requester —
+    //    deferring here while the requester defers us (both mid-fetch) deadlocks the pair;
+    //  - it must match the fault (grant_seq), not just the node: under migratory, ownership
+    //    cycles, and a LATER fault by the same node can chase back to us mid-refetch — serving
+    //    the old grant's bytes to that fault would hand out stale data (and a second owner).
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
+    stats_.page_requests_served++;
+    return BuildDataReply(req.page, /*transfer_ownership=*/true,
+                          /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate,
+                          /*from_grant=*/true);
+  }
 
   if (e.fetching) {
     // This page table entry is in transition: either we are mid-upgrade (invalidation acks
@@ -232,6 +290,7 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
     for (PageId p : layout_->GroupPagesOf(req.page)) {
       PageEntry& ge = table_[p];
       ge.granted_to = src;
+      ge.grant_seq = req.fault_seq;
       ge.grant_copyset = ge.copyset;
       ge.state = PageState::kInvalid;
       ge.owner = false;
@@ -239,16 +298,6 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
       ge.probable_owner = src;
     }
     return reply;
-  }
-
-  if (e.granted_to == src && e.state == PageState::kInvalid && !e.owner) {
-    // The requester never saw our earlier transfer reply (it was lost); re-serve the identical
-    // transfer from the stale frame. This keeps page replies unbuffered yet loss-safe.
-    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
-    stats_.page_requests_served++;
-    return BuildDataReply(req.page, /*transfer_ownership=*/true,
-                          /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate,
-                          /*from_grant=*/true);
   }
 
   // Not the owner: redirect the requester along the probable-owner chain.
@@ -322,6 +371,7 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
 void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
   for (PageId p : layout_->GroupPagesOf(page)) {
     PageEntry& e = table_[p];
+    NotePageDiscarded(e);  // a demand fetch replacing an untouched prefetched copy = waste
     e.state = new_state;
     e.owner = ownership;
     e.fetching = false;
@@ -343,6 +393,194 @@ void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
   }
 }
 
+// --- Bulk transfers / prefetching ------------------------------------------------------------
+
+void DsmNode::NoteFaultForDetector(PageId page, AccessMode mode) {
+  if (mode != AccessMode::kRead || config_.pcp == Pcp::kMigratory ||
+      layout_->GroupOf(page) != kNoGroup) {
+    return;
+  }
+  if (page == last_fault_page_) {
+    return;  // a second thread faulting on the in-flight page is not new pattern evidence
+  }
+  fault_run_len_ = (last_fault_page_ != kNoPage && page == last_fault_page_ + 1)
+                       ? fault_run_len_ + 1
+                       : 1;
+  last_fault_page_ = page;
+  if (fault_run_len_ >= config_.prefetch_min_run) {
+    Prefetch(page + 1, config_.prefetch_degree, AccessMode::kRead);
+  }
+}
+
+void DsmNode::Prefetch(PageId first, int count, AccessMode mode) {
+  // Read replication only: a write needs an ownership transfer, and prefetching a read copy
+  // first would double the traffic. Migratory moves ownership on every fetch, so it is excluded
+  // entirely (the correctness constraint on bulk reads).
+  if (mode != AccessMode::kRead || config_.pcp == Pcp::kMigratory || count <= 0) {
+    return;
+  }
+  const uint64_t clamped_end =
+      std::min<uint64_t>(static_cast<uint64_t>(first) + static_cast<uint64_t>(count),
+                         table_.size());
+  if (first >= clamped_end) {
+    return;
+  }
+  StartBulkFetch(first, static_cast<int>(clamped_end - first));
+}
+
+void DsmNode::StartBulkFetch(PageId first, int count) {
+  auto eligible = [&](PageId p) {
+    const PageEntry& e = table_[p];
+    return e.state == PageState::kInvalid && !e.fetching && !e.owner &&
+           e.probable_owner != self_ && layout_->GroupOf(p) == kNoGroup;
+  };
+  const PageId end = first + static_cast<PageId>(count);
+  PageId p = first;
+  while (p < end) {
+    if (!eligible(p)) {
+      ++p;
+      continue;
+    }
+    // Extend a maximal run of eligible pages sharing a probable-owner hint, capped at
+    // max_bulk_pages; hint changes split the run so replies carry few misses.
+    const NodeId target = table_[p].probable_owner;
+    PageId run_end = p + 1;
+    while (run_end < end && run_end - p < static_cast<PageId>(config_.max_bulk_pages) &&
+           eligible(run_end) && table_[run_end].probable_owner == target) {
+      ++run_end;
+    }
+    for (PageId q = p; q < run_end; ++q) {
+      PageEntry& e = table_[q];
+      e.fetching = true;
+      e.fetch_mode = AccessMode::kRead;
+      ++pending_fetches_;
+    }
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->prefetch_issue);
+    SendBulkRequest(p, static_cast<uint16_t>(run_end - p), target);
+    p = run_end;
+  }
+}
+
+void DsmNode::SendBulkRequest(PageId first, uint16_t count, NodeId target) {
+  DFIL_CHECK_NE(target, self_);
+  stats_.bulk_requests++;
+  stats_.bulk_pages_requested += count;
+  net::WireWriter w;
+  w.Put(BulkRequestBody{first, count, AccessMode::kRead});
+  packet_->SendRequest(
+      target, net::Service::kBulkPageRequest, w.Take(),
+      [this](net::Payload reply) { OnBulkReply(std::move(reply)); },
+      TimeCategory::kDataTransfer);
+}
+
+std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReader body) {
+  const auto req = body.Get<BulkRequestBody>();
+  // Served idempotently from current state, like single-page replies: pages this node owns ship
+  // as read-only copies, everything else is reported back as a miss for the requester to re-fault
+  // through the owner-forwarding directory. Never defers and never transfers ownership, so
+  // in-flux entries, the Mirage window, and the grant record are untouched.
+  std::vector<PageId> hits;
+  std::vector<PageId> misses;
+  const uint64_t end =
+      std::min<uint64_t>(static_cast<uint64_t>(req.first) + req.count, table_.size());
+  for (uint64_t p64 = req.first; p64 < end; ++p64) {
+    const PageId p = static_cast<PageId>(p64);
+    const PageEntry& e = table_[p];
+    const bool servable = e.owner && !e.fetching && config_.pcp != Pcp::kMigratory &&
+                          layout_->GroupOf(p) == kNoGroup;
+    (servable ? hits : misses).push_back(p);
+  }
+  if (!hits.empty()) {
+    hooks_.charge(TimeCategory::kDataTransfer,
+                  costs_->page_service +
+                      costs_->bulk_service_extra_page * static_cast<SimTime>(hits.size() - 1));
+    stats_.bulk_pages_served += hits.size();
+  }
+  net::WireWriter w;
+  w.Put(BulkReplyHeader{self_, static_cast<uint16_t>(hits.size()),
+                        static_cast<uint16_t>(misses.size())});
+  const size_t ps = layout_->page_size();
+  for (PageId p : hits) {
+    PageEntry& e = table_[p];
+    if (config_.pcp == Pcp::kWriteInvalidate) {
+      e.state = PageState::kReadOnly;  // owner downgrades and tracks the copy, as for any read
+      e.copyset |= Bit(src);
+    }
+    w.Put(PageBlockHeader{p, 0});
+    w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
+  }
+  for (PageId p : misses) {
+    w.Put(p);
+  }
+  return w.Take();
+}
+
+void DsmNode::OnBulkReply(net::Payload reply) {
+  net::WireReader r(reply);
+  const auto h = r.Get<BulkReplyHeader>();
+  const size_t ps = layout_->page_size();
+  for (uint16_t i = 0; i < h.npages; ++i) {
+    const auto block = r.Get<PageBlockHeader>();
+    r.GetBytes(replica_.data() + (static_cast<GlobalAddr>(block.page) << layout_->page_shift()),
+               ps);
+    hooks_.charge(TimeCategory::kDataTransfer, costs_->page_install);
+    FinishBulkPage(block.page, /*installed=*/true, h.owner_hint);
+  }
+  for (uint16_t i = 0; i < h.nmisses; ++i) {
+    const PageId p = r.Get<PageId>();
+    stats_.bulk_misses++;
+    FinishBulkPage(p, /*installed=*/false, h.owner_hint);
+  }
+}
+
+void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint) {
+  PageEntry& e = table_[page];
+  DFIL_CHECK(e.fetching) << "bulk reply for page " << page << " we are not fetching";
+  e.fetching = false;
+  bool had_waiters = false;
+  if (installed) {
+    e.state = PageState::kReadOnly;
+    e.owner = false;
+    e.probable_owner = owner_hint;
+    e.hold_until = hooks_.clock() + config_.mirage_window;
+    e.granted_to = kNoNode;  // the replier completed its own fetch, so any old grant is stale
+    e.grant_copyset = 0;
+    stats_.prefetched_pages++;
+    while (threads::ServerThread* t = e.waiters.PopFront()) {
+      had_waiters = true;
+      hooks_.wake(t);
+    }
+    if (!had_waiters) {
+      // Nobody demanded this page yet; track it so an untouched death can be reported as waste.
+      e.prefetched_unused = true;
+    }
+  } else {
+    // Miss: the replier does not own this page (or it is in flux there). Waiters re-fault through
+    // the single-page owner-forwarding path from their Access() loop; a pure prefetch just lapses.
+    while (threads::ServerThread* t = e.waiters.PopFront()) {
+      hooks_.wake(t);
+    }
+  }
+  DFIL_CHECK_GT(pending_fetches_, 0);
+  if (--pending_fetches_ == 0 && hooks_.fetches_drained) {
+    hooks_.fetches_drained();
+  }
+}
+
+void DsmNode::NotePageDiscarded(PageEntry& e) {
+  if (e.prefetched_unused) {
+    e.prefetched_unused = false;
+    e.prefetch_wasted = true;
+    stats_.prefetch_wasted++;
+  }
+}
+
+bool DsmNode::ConsumePrefetchWasted(PageId page) {
+  const bool wasted = table_[page].prefetch_wasted;
+  table_[page].prefetch_wasted = false;
+  return wasted;
+}
+
 std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader body) {
   (void)src;
   const auto page = body.Get<PageId>();
@@ -353,6 +591,7 @@ std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader
     DFIL_CHECK(!e.owner) << "owner received an invalidation for page " << p;
     if (e.state == PageState::kReadOnly) {
       e.state = PageState::kInvalid;
+      NotePageDiscarded(e);
     }
   }
   return net::Payload{};  // empty ack
@@ -368,6 +607,7 @@ void DsmNode::AtSyncPoint() {
     if (!e.owner && e.state == PageState::kReadOnly && !e.fetching) {
       e.state = PageState::kInvalid;
       stats_.implicit_invalidations++;
+      NotePageDiscarded(e);
     }
   }
 }

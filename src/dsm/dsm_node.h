@@ -53,6 +53,17 @@ struct DsmConfig {
   // would take it away. Besides controlling fork/join thrashing (paper §2.3), the window is the
   // progress guarantee when pages ping-pong (Mirage [FP89]); 0 disables it.
   SimTime mirage_window = Milliseconds(2.0);
+
+  // --- Strip-aware prefetching / bulk transfers (extension; both off = paper behaviour) ---
+  // Sequential-fault detector: after `prefetch_min_run` consecutive demand read faults on
+  // adjacent pages, the remainder of the run is fetched with one bulk request.
+  bool prefetch_detector = false;
+  // Strip hints: the pool engine re-issues last sweep's per-pool fault footprint as bulk
+  // prefetches before running the pool's filaments.
+  bool prefetch_hints = false;
+  int prefetch_min_run = 2;   // consecutive adjacent faults that arm the detector
+  int prefetch_degree = 4;    // pages the armed detector fetches ahead of the faulting page
+  int max_bulk_pages = 16;    // cap on the page count of one bulk request
 };
 
 struct PageEntry {
@@ -66,6 +77,10 @@ struct PageEntry {
   SimTime hold_until = 0;    // Mirage window expiry
   NodeId granted_to = kNoNode;  // last ownership grant, for idempotent transfer re-replies
   uint64_t grant_copyset = 0;
+  uint32_t grant_seq = 0;  // fault_seq of the request the grant answered (re-reply match key)
+  uint32_t fetch_seq = 0;  // this node's fault counter for the page; stamped into page requests
+  bool prefetched_unused = false;  // installed by a prefetch and not yet touched by any access
+  bool prefetch_wasted = false;    // sticky: the last prefetched copy died untouched (hint pruning)
   IntrusiveList<threads::ServerThread, &threads::ServerThread::queue_link> waiters;
 };
 
@@ -120,6 +135,22 @@ class DsmNode {
     *reinterpret_cast<T*>(Access(addr, sizeof(T), AccessMode::kWrite)) = value;
   }
 
+  // --- Prefetching (any context; never blocks) ---
+
+  // Asynchronously fetches the page run [first, first+count) with bulk requests, skipping pages
+  // that are present, already being fetched, grouped, or owned here. Only read prefetches are
+  // supported: a write needs an ownership transfer, and prefetching a read copy first would turn
+  // one transfer into two. No-op under the migratory PCP (every fetch moves ownership there).
+  // Fetched pages land as replicated read-only copies, subject to the normal PCP rules —
+  // write-invalidate tracks them in the owner's copyset, implicit-invalidate drops them at the
+  // next synchronization point. Outstanding prefetches count as pending fetches, so they drain
+  // at synchronization points like demand faults.
+  void Prefetch(PageId first, int count, AccessMode mode);
+
+  // Hint-pruning handshake: returns whether the last prefetched copy of `page` was discarded
+  // without ever being accessed, and clears the flag.
+  bool ConsumePrefetchWasted(PageId page);
+
   // --- Synchronization integration ---
 
   // Called by the runtime at every synchronization point (reduction/barrier). Under
@@ -153,6 +184,35 @@ class DsmNode {
   std::optional<net::Payload> ServeInvalidate(NodeId src, net::WireReader body);
   void OnPageReply(PageId page, AccessMode mode, net::Payload reply);
 
+  // --- Bulk transfers / prefetching ---
+
+  // Sequential-fault detector (called on every demand read fault when enabled): arms on
+  // `prefetch_min_run` adjacent faults and bulk-prefetches the run's continuation.
+  void NoteFaultForDetector(PageId page, AccessMode mode);
+
+  // Marks every eligible page of [first, first+count) as fetching and sends one bulk request per
+  // probable-owner run. Pages that are present, fetching, grouped, or owned here are skipped.
+  void StartBulkFetch(PageId first, int count);
+
+  // Sends one kBulkPageRequest for [first, first+count) towards `target`.
+  void SendBulkRequest(PageId first, uint16_t count, NodeId target);
+
+  // Serves a bulk request from current state: ships the pages this node owns as read-only copies
+  // and reports the rest as misses (idempotent; never defers, never transfers ownership).
+  std::optional<net::Payload> ServeBulkRequest(NodeId src, net::WireReader body);
+  void OnBulkReply(net::Payload reply);
+
+  // Completes one page of a bulk fetch (no group logic: bulk runs cover ungrouped pages only).
+  void FinishBulkPage(PageId page, bool installed, NodeId owner_hint);
+
+  // Marks a present page as touched; discarding an untouched prefetched copy counts as waste.
+  void NotePageUsed(PageEntry& e) {
+    if (e.prefetched_unused) {
+      e.prefetched_unused = false;
+    }
+  }
+  void NotePageDiscarded(PageEntry& e);
+
   // Completes a fetch: grants access, wakes waiters, decrements pending counter.
   void FinishFetch(PageId page, PageState new_state, bool ownership);
 
@@ -178,6 +238,11 @@ class DsmNode {
   std::vector<PageEntry> table_;
   int pending_fetches_ = 0;
   DsmStats stats_;
+
+  // Sequential-fault detector state (last-fault window reduced to a run counter: the run is the
+  // only pattern the bulk protocol exploits).
+  PageId last_fault_page_ = kNoPage;
+  int fault_run_len_ = 0;
 };
 
 }  // namespace dfil::dsm

@@ -196,6 +196,20 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
     machine_->net_stats().deferred_requests++;
     return;
   }
+  if (entry.idempotent) {
+    // No reply buffering for idempotent services: a retransmitted request re-runs the service and
+    // the reply is rebuilt from current state. Record which it was (Figure 3a vs 3c).
+    if (served_requests_.insert({src, req_id}).second) {
+      stats_.replies_first_serve++;
+      served_fifo_.push_back({src, req_id});
+      while (served_fifo_.size() > kServedIdsCap) {
+        served_requests_.erase(served_fifo_.front());
+        served_fifo_.pop_front();
+      }
+    } else {
+      stats_.replies_rebuilt++;
+    }
+  }
   if (!entry.idempotent) {
     const SimTime expires =
         clock_() + config_.retransmit_timeout * config_.response_cache_timeouts;

@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,7 @@ enum class Service : uint16_t {
   // DSM
   kPageRequest = 1,
   kInvalidate = 2,
+  kBulkPageRequest = 3,  // page-run [first, count] fetch; unowned pages come back as misses
   // Reductions
   kReduceUp = 10,
   kReduceDone = 11,  // raw broadcast dissemination
@@ -76,6 +78,11 @@ struct PacketStats {
   uint64_t duplicate_replies = 0;
   uint64_t deferred_requests = 0;  // ignored due to a critical section or a busy service
   uint64_t raw_sent = 0;
+  // Idempotent services only: replies are never buffered, so a retransmitted request makes the
+  // service rebuild its reply from current state (paper Figure 3c). Splitting first serves from
+  // rebuilds makes that loss-recovery path — and bulk-reply idempotence — observable in tests.
+  uint64_t replies_first_serve = 0;
+  uint64_t replies_rebuilt = 0;
 };
 
 // One node's endpoint of the Packet protocol.
@@ -202,6 +209,13 @@ class PacketEndpoint {
   static constexpr size_t kResponseCacheCap = 1024;
   std::map<std::pair<NodeId, uint64_t>, CachedReply> response_cache_;
   std::deque<std::pair<NodeId, uint64_t>> cache_fifo_;
+
+  // Request ids already served to each requester (idempotent services), splitting first serves
+  // from rebuilt-from-state re-serves in the stats. Bounded FIFO; an evicted id at worst
+  // misclassifies a very late retransmission as a first serve.
+  static constexpr size_t kServedIdsCap = 4096;
+  std::set<std::pair<NodeId, uint64_t>> served_requests_;
+  std::deque<std::pair<NodeId, uint64_t>> served_fifo_;
 };
 
 }  // namespace dfil::net

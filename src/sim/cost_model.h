@@ -30,6 +30,16 @@ struct CostModel {
   SimTime invalidate_handle = Microseconds(150.0);  // apply one invalidation (write-invalidate)
   SimTime page_redirect = Microseconds(60.0);       // answer a request with an owner redirect
 
+  // --- Bulk transfers / prefetching (extension; see DESIGN.md §6) ---
+  // A bulk reply charges the full page_service once plus this marginal cost per additional page
+  // (the reply build amortizes one software pass over the run), and page_install per page on the
+  // requester. A 1-page bulk therefore costs exactly one single-page fault: fault/issue handling
+  // + page_service + wire + page_install, with no extra entries charged.
+  SimTime bulk_service_extra_page = Microseconds(60.0);
+  // Issuing an asynchronous prefetch (hint or detector): request build + queue insert, but no
+  // SIGSEGV delivery and no thread suspension, so cheaper than fault_handle.
+  SimTime prefetch_issue = Microseconds(150.0);
+
   // --- Messaging (SunOS UDP stack on a Sun IPC) ---
   SimTime msg_send_overhead = Microseconds(620.0);  // syscall + copy + protocol processing
   SimTime msg_recv_overhead = Microseconds(680.0);  // SIGIO + syscall + copy + dispatch

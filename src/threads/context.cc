@@ -4,6 +4,17 @@
 
 #include "src/common/check.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define DFIL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DFIL_ASAN 1
+#endif
+#endif
+#if defined(DFIL_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
 extern "C" {
 // Implemented in context_switch_x86_64.S.
 void dfil_ctx_switch(void** save_sp, void* load_sp);
@@ -49,6 +60,14 @@ ContextBackend DefaultContextBackend() {
 void Context::Init(std::span<std::byte> stack, EntryFn entry, void* arg, ContextBackend backend) {
   backend_ = backend;
   DFIL_CHECK_GE(stack.size(), static_cast<size_t>(1024));
+
+#if defined(DFIL_ASAN)
+  // A fiber that switches away forever never unwinds, so its frame redzones stay poisoned in
+  // ASan's shadow. When the stack pool recycles that memory, writing the new boot frame (or the
+  // new fiber's first frames) trips a false stack-buffer-overflow. The old contents are dead by
+  // contract, so clear the shadow for the whole stack.
+  __asan_unpoison_memory_region(stack.data(), stack.size());
+#endif
 
   if (backend == ContextBackend::kAsm) {
     // 16-align the stack top; plant the boot frame so the first switch "returns" into

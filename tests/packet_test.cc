@@ -119,6 +119,12 @@ TEST_P(PacketLossTest, ReliableUnderLoss) {
   if (loss > 0) {
     EXPECT_GT(rig.a->endpoint->stats().retransmissions, 0u);
   }
+  // Idempotent loss recovery (Figure 3c): each request id is first-served exactly once; every
+  // further serve of a retransmission is a reply rebuilt from current state, never a buffered one.
+  const PacketStats& bs = rig.b->endpoint->stats();
+  EXPECT_EQ(bs.replies_first_serve, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(bs.replies_rebuilt, static_cast<uint64_t>(served) - kRequests);
+  EXPECT_EQ(bs.replies_first_serve + bs.replies_rebuilt, bs.replies_sent);
 }
 
 INSTANTIATE_TEST_SUITE_P(LossSweep, PacketLossTest,
