@@ -16,7 +16,7 @@ using namespace dfil;
 class ScriptedNetwork : public sim::NetworkModel {
  public:
   ScriptedNetwork(const sim::CostModel& costs, std::set<int> drop, std::set<int> delay)
-      : inner_(costs, 0.0, 1), drop_(std::move(drop)), delay_(std::move(delay)) {}
+      : inner_(costs), drop_(std::move(drop)), delay_(std::move(delay)) {}
 
   sim::TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) override {
     sim::TxPlan plan = inner_.PlanUnicast(src, dst, bytes, ready);

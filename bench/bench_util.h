@@ -44,25 +44,34 @@ class JsonReport {
     return rows_.back();
   }
 
+  // Serializes the report (the exact bytes Write() emits, so it is testable without the
+  // filesystem).
+  std::string ToJson() const {
+    std::string out;
+    out += "{\n  \"bench\": \"" + name_ + "\"";
+    for (const auto& [k, v] : scalars_) {
+      out += ",\n  \"" + k + "\": " + Number(v);
+    }
+    out += ",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    {";
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        out += (j == 0 ? "" : ", ");
+        out += "\"" + fields[j].first + "\": " + Number(fields[j].second);
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
   // Writes BENCH_<name>.json into the current directory. Called explicitly (not from the
   // destructor) so a crashed bench leaves no half-written report behind.
   void Write() const {
     std::ofstream out("BENCH_" + name_ + ".json");
-    out << "{\n  \"bench\": \"" << name_ << "\"";
-    for (const auto& [k, v] : scalars_) {
-      out << ",\n  \"" << k << "\": " << Number(v);
-    }
-    out << ",\n  \"rows\": [";
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      out << (i == 0 ? "\n" : ",\n") << "    {";
-      const auto& fields = rows_[i].fields_;
-      for (size_t j = 0; j < fields.size(); ++j) {
-        out << (j == 0 ? "" : ", ") << "\"" << fields[j].first
-            << "\": " << Number(fields[j].second);
-      }
-      out << "}";
-    }
-    out << "\n  ]\n}\n";
+    out << ToJson();
     std::printf("wrote BENCH_%s.json\n", name_.c_str());
   }
 

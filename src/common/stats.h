@@ -76,6 +76,11 @@ struct MessageStats {
   uint64_t retransmissions = 0;
   uint64_t deferred_requests = 0;  // requests ignored because the replier was in a critical section
 
+  // Adversarial fault injection (sim::FaultInjector): extra deliveries and deferrals it created.
+  uint64_t messages_duplicated = 0;  // injected duplicate deliveries
+  uint64_t messages_delayed = 0;     // deliveries given injected extra latency
+  uint64_t stall_deferrals = 0;      // deliveries deferred past a receiver stall window
+
   void Reset() { *this = MessageStats{}; }
 };
 
@@ -90,6 +95,7 @@ struct DsmStats {
   uint64_t page_forwards = 0;           // requests forwarded along the owner chain
   uint64_t mirage_deferrals = 0;        // page requests delayed by the Mirage hold window
   uint64_t fetch_deferrals = 0;         // page requests deferred because the entry was in flux
+  uint64_t use_deferrals = 0;           // serves deferred until a woken faulter touched the page
 
   // Prefetch / bulk-transfer pipeline.
   uint64_t single_page_requests = 0;  // single-page request messages sent (incl. redirect chases)
@@ -99,6 +105,12 @@ struct DsmStats {
   uint64_t bulk_misses = 0;           // pages a bulk reply reported as not-owned-here
   uint64_t prefetched_pages = 0;      // pages installed ahead of any demand access
   uint64_t prefetch_wasted = 0;       // prefetched copies discarded without ever being read
+
+  // Duplication/reordering defenses (exercised by the fault-injection harness).
+  uint64_t grant_reserves = 0;               // lost ownership transfers re-served from the grant record
+  uint64_t stale_invalidations_ignored = 0;  // duplicated invalidations that arrived after re-acquisition
+  uint64_t stale_transfer_dups_ignored = 0;  // duplicated transfer requests for an already-answered fault
+  uint64_t discarded_installs = 0;           // page installs dropped because invalidated in flight
 
   // Page-request message count (the Figure-9 hot-path traffic this node generated).
   uint64_t page_request_messages() const { return single_page_requests + bulk_requests; }

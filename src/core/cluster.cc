@@ -22,13 +22,18 @@ RunReport Cluster::Run(const NodeMain& node_main) {
 
   std::unique_ptr<sim::NetworkModel> net;
   if (config_.network == NetworkKind::kSharedEthernet) {
-    net = std::make_unique<sim::SharedEthernet>(config_.costs, config_.loss_rate,
-                                                config_.seed ^ 0x9E3779B97F4A7C15ULL);
+    net = std::make_unique<sim::SharedEthernet>(config_.costs);
   } else {
-    net = std::make_unique<sim::SwitchedNetwork>(config_.costs, config_.nodes, config_.loss_rate,
-                                                 config_.seed ^ 0x9E3779B97F4A7C15ULL);
+    net = std::make_unique<sim::SwitchedNetwork>(config_.costs, config_.nodes);
   }
-  machine_ = std::make_unique<sim::Machine>(std::move(net), config_.costs);
+  sim::FaultPlan plan = config_.fault_plan;
+  if (plan.loss_rate == 0.0) {
+    plan.loss_rate = config_.loss_rate;  // legacy knob
+  }
+  if (plan.seed == 0) {
+    plan.seed = config_.seed ^ 0x9E3779B97F4A7C15ULL;
+  }
+  machine_ = std::make_unique<sim::Machine>(std::move(net), config_.costs, std::move(plan));
 
   std::shared_ptr<TraceRecorder> trace;
   if (config_.trace_enabled) {

@@ -8,7 +8,12 @@
 #include "src/dsm/dsm_node.h"
 #include "src/net/packet.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/fault_plan.h"
 #include "src/threads/context.h"
+
+namespace dfil::dsm {
+class CoherenceOracle;
+}  // namespace dfil::dsm
 
 namespace dfil::core {
 
@@ -21,8 +26,18 @@ struct ClusterConfig {
   int nodes = 8;
   sim::CostModel costs = sim::CostModel::SunIpcEthernet();
   NetworkKind network = NetworkKind::kSharedEthernet;
-  double loss_rate = 0.0;  // per-frame drop probability
+  double loss_rate = 0.0;  // per-frame drop probability (shorthand for fault_plan.loss_rate)
   uint64_t seed = 1;
+
+  // Adversarial fault injection (drops, duplicates, delays, burst loss, node stalls). The plan's
+  // loss_rate/seed default to this config's loss_rate/seed when left at 0, so the legacy knob
+  // keeps working. Everything is driven by seeded Rng streams: a run is replayable from
+  // (plan, seed) alone.
+  sim::FaultPlan fault_plan;
+
+  // When set, every DsmNode attaches to this oracle and the barrier champion sweeps it at each
+  // globally quiescent point. Testing only (see dsm/coherence_oracle.h); benches leave it null.
+  dsm::CoherenceOracle* coherence_oracle = nullptr;
 
   dsm::DsmConfig dsm;
   net::PacketConfig packet;

@@ -7,6 +7,7 @@
 #include "src/common/log.h"
 #include "src/core/forkjoin.h"
 #include "src/core/pool_engine.h"
+#include "src/dsm/coherence_oracle.h"
 
 namespace dfil::core {
 namespace {
@@ -25,6 +26,23 @@ TimeCategory ClassifyGap(const std::string& reason) {
 }
 
 }  // namespace
+
+// Oracle sweep at a globally quiescent point: the combining node of a tournament/central barrier
+// holds every contribution, so every node has drained its outstanding fetches (WaitForFetchDrain)
+// and run AtSyncPoint before sending up — the cluster-wide page state is stable until the
+// dissemination goes out. The dissemination barrier has no such single point, so it never sweeps.
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+#define DFIL_ORACLE_SWEEP()                        \
+  do {                                             \
+    if (config_.coherence_oracle != nullptr) {     \
+      config_.coherence_oracle->AtQuiescentPoint(); \
+    }                                              \
+  } while (false)
+#else
+#define DFIL_ORACLE_SWEEP() \
+  do {                      \
+  } while (false)
+#endif
 
 NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* machine,
                          const dsm::GlobalLayout* layout)
@@ -67,6 +85,11 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   };
   dsm_ = std::make_unique<dsm::DsmNode>(id_, layout, packet_.get(), &machine_->costs(),
                                         config_.dsm, std::move(hooks));
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+  if (config_.coherence_oracle != nullptr) {
+    dsm_->AttachOracle(config_.coherence_oracle);
+  }
+#endif
   pools_ = std::make_unique<PoolEngine>(this);
   fj_ = std::make_unique<FjEngine>(this);
   RegisterReduceServices();
@@ -405,6 +428,7 @@ double NodeRuntime::ReduceTournament(uint64_t epoch, double value, ReduceOp op) 
     }
   }
   DFIL_CHECK_EQ(r, 0);
+  DFIL_ORACLE_SWEEP();
   net::WireWriter w;
   w.Put(epoch);
   w.Put(accum);
@@ -454,6 +478,7 @@ double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
   for (NodeId n = 1; n < p; ++n) {
     accum = Combine(accum, WaitReduceUp(epoch, 0, n), op);
   }
+  DFIL_ORACLE_SWEEP();
   net::WireWriter w;
   w.Put(epoch);
   w.Put(accum);

@@ -6,6 +6,20 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/dsm/coherence_oracle.h"
+
+// Coherence-oracle hook: a null-pointer check when no oracle is attached, nothing at all when
+// compiled out (benches pay zero).
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+#define DFIL_ORACLE(call)   \
+  if (oracle_ == nullptr) { \
+  } else /* NOLINT */       \
+    oracle_->call
+#else
+#define DFIL_ORACLE(call) \
+  do {                    \
+  } while (false)
+#endif
 
 namespace dfil::dsm {
 namespace {
@@ -90,6 +104,15 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
       /*idempotent=*/true, TimeCategory::kDataTransfer);
 }
 
+void DsmNode::AttachOracle(CoherenceOracle* oracle) {
+  oracle_ = oracle;
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+  if (oracle_ != nullptr) {
+    oracle_->AttachNode(self_, this);
+  }
+#endif
+}
+
 std::byte* DsmNode::TryAccess(GlobalAddr addr, size_t len, AccessMode mode) {
   DFIL_DCHECK(len > 0);
   DFIL_DCHECK(addr + len <= replica_.size());
@@ -135,6 +158,9 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
     stats_.write_faults++;
   }
   hooks_.charge(TimeCategory::kDataTransfer, costs_->fault_handle);
+  DFIL_LOG(kDebug, "dsm") << "node " << self_ << " " << (mode == AccessMode::kRead ? "r" : "w")
+                          << "-fault page " << page << " @" << ToMilliseconds(hooks_.clock())
+                          << "ms hint=" << e.probable_owner << (e.fetching ? " (in-flight)" : "");
   if (config_.prefetch_detector) {
     NoteFaultForDetector(page, mode);
   }
@@ -248,6 +274,8 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
     //    the old grant's bytes to that fault would hand out stale data (and a second owner).
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
     stats_.page_requests_served++;
+    stats_.grant_reserves++;
+    DFIL_ORACLE(OnServeGrantReserve(self_, src, req.page));
     return BuildDataReply(req.page, /*transfer_ownership=*/true,
                           /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate,
                           /*from_grant=*/true);
@@ -263,6 +291,25 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
   }
 
   if (e.owner) {
+    if (e.granted_to == src && e.grant_seq == req.fault_seq) {
+      // A delayed duplicate of a transfer request we already answered, arriving after we
+      // re-acquired the page. The requester is long done with that fault (had it still been
+      // waiting, ownership could never have chased back through it to us), so serving a fresh
+      // transfer here would demote us and orphan the page: the requester drops the unexpected
+      // reply and nobody is left owning it. Grant records persist across re-acquisition
+      // (FinishFetch keeps them) precisely so this duplicate is recognizable.
+      stats_.stale_transfer_dups_ignored++;
+      return std::nullopt;
+    }
+    if (e.pending_use) {
+      // The page just arrived for our own blocked faulters and none has run yet. Serving now —
+      // even a read copy, which under write-invalidate demotes us and turns the blocked write
+      // into an upgrade round — restarts their fault from scratch; with service latency above
+      // the Mirage window that regresses into a livelock where no writer ever completes an
+      // access. Ignore the request; the retransmission arrives after the waiters have run.
+      stats_.use_deferrals++;
+      return std::nullopt;
+    }
     const bool transfers = config_.pcp == Pcp::kMigratory || req.mode == AccessMode::kWrite;
     if (transfers && config_.mirage_window > 0 && hooks_.clock() < e.hold_until) {
       // Mirage hold window: ignore the request; the requester's retransmission will retry.
@@ -281,12 +328,16 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
           table_[p].copyset |= Bit(src);
         }
       }
+      DFIL_ORACLE(OnServeRead(self_, src, req.page));
       return BuildDataReply(req.page, /*transfer_ownership=*/false, /*include_copyset=*/false);
     }
 
     // Ownership transfer (migratory always; write faults otherwise).
+    DFIL_LOG(kDebug, "dsm") << "node " << self_ << " transfers page " << req.page << " -> " << src
+                            << " @" << ToMilliseconds(hooks_.clock()) << "ms";
     net::Payload reply = BuildDataReply(req.page, /*transfer_ownership=*/true,
                                         /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate);
+    DFIL_ORACLE(OnServeTransfer(self_, src, req.page));
     for (PageId p : layout_->GroupPagesOf(req.page)) {
       PageEntry& ge = table_[p];
       ge.granted_to = src;
@@ -350,6 +401,20 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_install);
   }
 
+  if (h.grants_ownership == 0 && e.discard_install) {
+    // The copy was invalidated while the bytes were in flight: the owner served us, then granted
+    // the page to a writer whose invalidation raced ahead of our reply. Installing now would
+    // resurrect stale bytes as a read-only copy the owner no longer tracks. Drop the install;
+    // waiters re-fault through Access() and chase the (updated) hint.
+    for (PageId p : layout_->GroupPagesOf(page)) {
+      table_[p].probable_owner = h.owner_hint;
+    }
+    stats_.discarded_installs++;
+    DFIL_ORACLE(OnDiscardedInstall(self_, page));
+    FinishFetch(page, PageState::kInvalid, /*ownership=*/false);
+    return;
+  }
+
   if (h.grants_ownership != 0 && config_.pcp == Pcp::kWriteInvalidate &&
       mode == AccessMode::kWrite) {
     // Invalidate every other read copy before the write proceeds.
@@ -369,23 +434,44 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
 }
 
 void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
+  DFIL_LOG(kDebug, "dsm") << "node " << self_ << " installs page " << page
+                          << (ownership ? " owned" : " copy") << " @"
+                          << ToMilliseconds(hooks_.clock()) << "ms waiters="
+                          << (table_[page].waiters.empty() ? "no" : "yes");
   for (PageId p : layout_->GroupPagesOf(page)) {
     PageEntry& e = table_[p];
     NotePageDiscarded(e);  // a demand fetch replacing an untouched prefetched copy = waste
     e.state = new_state;
     e.owner = ownership;
     e.fetching = false;
+    e.discard_install = false;
     e.pending_invalidate_acks = 0;
     e.hold_until = hooks_.clock() + config_.mirage_window;
-    e.granted_to = kNoNode;
-    e.grant_copyset = 0;
+    // The grant record (granted_to/grant_seq/grant_copyset) deliberately survives this fetch:
+    // a delayed duplicate of the transfer request the grant answered can still arrive after we
+    // re-acquire the page, and ServePageRequest needs the record to recognize (and ignore) it.
+    // Keeping it is safe — the re-serve path additionally requires state kInvalid and !owner.
     if (ownership) {
       e.probable_owner = self_;
       e.copyset = 0;
     }
+    // Use-once progress guarantee: a page installed for blocked faulters must not be served away
+    // before at least one of them runs. The waiters are runnable from this instant, but install
+    // and service charges can push this node's clock past the arrival time of the next remote
+    // request, in which case the event loop dispatches that steal first — with service latency
+    // above the Mirage window, two writers then hand the page back and forth forever without
+    // either faulting thread completing its access. Unlike `fetching`, the flag clears through
+    // local scheduling alone (the first woken waiter's access), so deferring on it cannot
+    // deadlock. (Assignment, not |=: a fetch that settles with no waiters heals a stale flag.)
+    e.pending_use = !e.waiters.empty() && new_state != PageState::kInvalid;
     while (threads::ServerThread* t = e.waiters.PopFront()) {
       hooks_.wake(t);
     }
+  }
+  if (ownership && new_state == PageState::kReadWrite) {
+    DFIL_ORACLE(OnWriteGranted(self_, page));
+  } else if (new_state == PageState::kReadOnly) {
+    DFIL_ORACLE(OnInstallRead(self_, page));
   }
   DFIL_CHECK_GT(pending_fetches_, 0);
   if (--pending_fetches_ == 0 && hooks_.fetches_drained) {
@@ -486,8 +572,8 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
   for (uint64_t p64 = req.first; p64 < end; ++p64) {
     const PageId p = static_cast<PageId>(p64);
     const PageEntry& e = table_[p];
-    const bool servable = e.owner && !e.fetching && config_.pcp != Pcp::kMigratory &&
-                          layout_->GroupOf(p) == kNoGroup;
+    const bool servable = e.owner && !e.fetching && !e.pending_use &&
+                          config_.pcp != Pcp::kMigratory && layout_->GroupOf(p) == kNoGroup;
     (servable ? hits : misses).push_back(p);
   }
   if (!hits.empty()) {
@@ -508,6 +594,7 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
     }
     w.Put(PageBlockHeader{p, 0});
     w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
+    DFIL_ORACLE(OnServeRead(self_, src, p));
   }
   for (PageId p : misses) {
     w.Put(p);
@@ -537,15 +624,23 @@ void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint) {
   PageEntry& e = table_[page];
   DFIL_CHECK(e.fetching) << "bulk reply for page " << page << " we are not fetching";
   e.fetching = false;
+  if (installed && e.discard_install) {
+    // Invalidated while the bulk bytes were in flight; installing would resurrect a stale
+    // untracked copy. Treat it as a miss: waiters re-fault, a pure prefetch just lapses.
+    installed = false;
+    stats_.discarded_installs++;
+    DFIL_ORACLE(OnDiscardedInstall(self_, page));
+  }
+  e.discard_install = false;
   bool had_waiters = false;
   if (installed) {
     e.state = PageState::kReadOnly;
     e.owner = false;
     e.probable_owner = owner_hint;
     e.hold_until = hooks_.clock() + config_.mirage_window;
-    e.granted_to = kNoNode;  // the replier completed its own fetch, so any old grant is stale
-    e.grant_copyset = 0;
+    // Any grant record survives (see FinishFetch); harmless here since state is now kReadOnly.
     stats_.prefetched_pages++;
+    DFIL_ORACLE(OnInstallRead(self_, page));
     while (threads::ServerThread* t = e.waiters.PopFront()) {
       had_waiters = true;
       hooks_.wake(t);
@@ -588,10 +683,23 @@ std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader
   stats_.invalidations_received++;
   for (PageId p : layout_->GroupPagesOf(page)) {
     PageEntry& e = table_[p];
-    DFIL_CHECK(!e.owner) << "owner received an invalidation for page " << p;
+    if (e.owner) {
+      // A duplicated invalidation, delivered after we re-acquired the page we once held a read
+      // copy of. The copy it targeted is long gone; crashing here (this used to be a CHECK) turns
+      // a benign duplicate into a protocol failure.
+      stats_.stale_invalidations_ignored++;
+      continue;
+    }
+    if (e.fetching && e.fetch_mode == AccessMode::kRead) {
+      // The invalidation targets the read copy currently in flight to us: the owner served our
+      // request, then granted the page to a writer whose invalidation overtook our reply. Poison
+      // the pending install so the stale bytes are dropped on arrival.
+      e.discard_install = true;
+    }
     if (e.state == PageState::kReadOnly) {
       e.state = PageState::kInvalid;
       NotePageDiscarded(e);
+      DFIL_ORACLE(OnInvalidated(self_, p));
     }
   }
   return net::Payload{};  // empty ack

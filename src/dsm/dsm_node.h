@@ -41,6 +41,8 @@
 
 namespace dfil::dsm {
 
+class CoherenceOracle;
+
 enum class Pcp : uint8_t { kMigratory, kWriteInvalidate, kImplicitInvalidate };
 
 enum class AccessMode : uint8_t { kRead = 0, kWrite = 1 };
@@ -79,6 +81,8 @@ struct PageEntry {
   uint64_t grant_copyset = 0;
   uint32_t grant_seq = 0;  // fault_seq of the request the grant answered (re-reply match key)
   uint32_t fetch_seq = 0;  // this node's fault counter for the page; stamped into page requests
+  bool discard_install = false;    // the in-flight read copy was invalidated; drop it on arrival
+  bool pending_use = false;        // installed for blocked faulters that have not yet run (defer serves)
   bool prefetched_unused = false;  // installed by a prefetch and not yet touched by any access
   bool prefetch_wasted = false;    // sticky: the last prefetched copy died untouched (hint pruning)
   IntrusiveList<threads::ServerThread, &threads::ServerThread::queue_link> waiters;
@@ -161,6 +165,11 @@ class DsmNode {
   int pending_fetches() const { return pending_fetches_; }
 
   // --- Introspection (tests, benches) ---
+
+  // Registers this node with a cluster-global coherence oracle; subsequent protocol transitions
+  // are reported through it. Pass nullptr to detach. Testing only; see coherence_oracle.h.
+  void AttachOracle(CoherenceOracle* oracle);
+
   const PageEntry& page(PageId p) const { return table_[p]; }
   const DsmStats& stats() const { return stats_; }
   DsmStats& mutable_stats() { return stats_; }
@@ -206,10 +215,13 @@ class DsmNode {
   void FinishBulkPage(PageId page, bool installed, NodeId owner_hint);
 
   // Marks a present page as touched; discarding an untouched prefetched copy counts as waste.
+  // Also retires the use-once hold: a page fetched for blocked faulters becomes servable again
+  // the moment any local access lands on it.
   void NotePageUsed(PageEntry& e) {
     if (e.prefetched_unused) {
       e.prefetched_unused = false;
     }
+    e.pending_use = false;
   }
   void NotePageDiscarded(PageEntry& e);
 
@@ -238,6 +250,7 @@ class DsmNode {
   std::vector<PageEntry> table_;
   int pending_fetches_ = 0;
   DsmStats stats_;
+  CoherenceOracle* oracle_ = nullptr;
 
   // Sequential-fault detector state (last-fault window reduced to a run counter: the run is the
   // only pattern the bulk protocol exploits).

@@ -39,6 +39,12 @@ void PacketEndpoint::RegisterRawHandler(Service service, RawFn fn, TimeCategory 
 
 void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id,
                               const Payload& body, TimeCategory charge_as) {
+  // Kind and sim::MsgClass share the wire numbering so fault rules can filter on the class.
+  static_assert(static_cast<uint8_t>(Kind::kRequest) ==
+                static_cast<uint8_t>(sim::MsgClass::kRequest));
+  static_assert(static_cast<uint8_t>(Kind::kReply) == static_cast<uint8_t>(sim::MsgClass::kReply));
+  static_assert(static_cast<uint8_t>(Kind::kRaw) == static_cast<uint8_t>(sim::MsgClass::kRaw));
+  static_assert(static_cast<uint8_t>(Kind::kAck) == static_cast<uint8_t>(sim::MsgClass::kAck));
   charge_(charge_as, machine_->costs().msg_send_overhead);
   WireWriter w;
   w.Put(Header{kind, static_cast<uint16_t>(service), req_id});
@@ -47,6 +53,7 @@ void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t r
   d.src = self_;
   d.dst = dst;
   d.type = static_cast<uint32_t>(service);
+  d.klass = static_cast<sim::MsgClass>(kind);
   d.payload = w.Take();
   machine_->Send(std::move(d), clock_());
 }
@@ -115,6 +122,7 @@ void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory ch
   d.src = self_;
   d.dst = sim::kBroadcastDst;
   d.type = static_cast<uint32_t>(service);
+  d.klass = sim::MsgClass::kRaw;
   d.payload = w.Take();
   machine_->Broadcast(std::move(d), clock_());
 }

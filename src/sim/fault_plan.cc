@@ -1,0 +1,130 @@
+#include "src/sim/fault_plan.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace dfil::sim {
+namespace {
+
+// SplitMix64 finalizer, used to key independent Rng streams off (seed, src, dst, seq, salt)
+// without consuming a shared stream (which would make decisions order-dependent).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kSaltUniform = 0x1001;
+constexpr uint64_t kSaltBurst = 0x1002;
+constexpr uint64_t kSaltRuleBase = 0x2000;
+
+SimTime SampleDelay(Rng& rng, SimTime lo, SimTime hi) {
+  if (hi <= lo) {
+    return lo > 0 ? lo : 0;
+  }
+  return lo + static_cast<SimTime>(rng.NextBounded(static_cast<uint64_t>(hi - lo)));
+}
+
+bool Matches(const FaultRule& r, NodeId src, NodeId dst, uint32_t type, MsgClass klass) {
+  if (r.src != kNoNode && r.src != src) {
+    return false;
+  }
+  if (r.dst != kNoNode && r.dst != dst) {
+    return false;
+  }
+  if (r.type != FaultRule::kAnyMsgType && r.type != type) {
+    return false;
+  }
+  if (r.klass != MsgClass::kUnknown && r.klass != klass) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), enabled_(plan_.enabled()), rule_matches_(plan_.rules.size(), 0) {}
+
+Rng FaultInjector::StreamFor(NodeId src, NodeId dst, uint64_t seq, uint64_t salt) const {
+  const uint64_t a = Mix(seq ^ (salt << 32));
+  const uint64_t b = Mix(a ^ (static_cast<uint64_t>(static_cast<uint32_t>(dst)) + 1));
+  const uint64_t c = Mix(b ^ (static_cast<uint64_t>(static_cast<uint32_t>(src)) + 1));
+  return Rng(Mix(plan_.seed ^ c));
+}
+
+FaultDecision FaultInjector::Decide(NodeId src, NodeId dst, uint32_t type, MsgClass klass) {
+  FaultDecision dec;
+  if (!enabled_) {
+    return dec;
+  }
+  const uint64_t seq = pair_seq_[{src, dst}]++;
+
+  if (plan_.loss_rate > 0.0) {
+    Rng rng = StreamFor(src, dst, seq, kSaltUniform);
+    if (rng.NextBernoulli(plan_.loss_rate)) {
+      dec.drop = true;
+    }
+  }
+
+  if (plan_.burst.enabled()) {
+    Rng rng = StreamFor(src, dst, seq, kSaltBurst);
+    bool& bad = burst_bad_[{src, dst}];
+    if (rng.NextBernoulli(bad ? plan_.burst.loss_bad : plan_.burst.loss_good)) {
+      dec.drop = true;
+    }
+    if (rng.NextBernoulli(bad ? plan_.burst.p_bad_to_good : plan_.burst.p_good_to_bad)) {
+      bad = !bad;
+    }
+  }
+
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    if (!Matches(r, src, dst, type, klass)) {
+      continue;
+    }
+    const uint64_t ord = rule_matches_[i]++;
+    if (ord < r.seq_from || ord >= r.seq_to) {
+      continue;
+    }
+    Rng rng = StreamFor(src, dst, seq, kSaltRuleBase + i);
+    if (rng.NextBernoulli(r.drop)) {
+      dec.drop = true;
+    }
+    if (rng.NextBernoulli(r.duplicate)) {
+      dec.dup_delays.push_back(SampleDelay(rng, r.delay_min, r.delay_max));
+    }
+    if (rng.NextBernoulli(r.delay)) {
+      dec.extra_delay += SampleDelay(rng, r.delay_min, r.delay_max);
+    }
+  }
+  return dec;
+}
+
+SimTime FaultInjector::AdjustForStall(NodeId dst, SimTime deliver_at) const {
+  SimTime t = deliver_at;
+  // A deferred delivery can land inside a later window (periodic stalls), so iterate to a
+  // fixpoint; each pass moves t strictly forward, and windows are finite, so this terminates.
+  for (bool moved = true; moved;) {
+    moved = false;
+    for (const StallSpec& s : plan_.stalls) {
+      if (s.node != dst || s.duration <= 0 || t < s.first) {
+        continue;
+      }
+      SimTime window_start = s.first;
+      if (s.period > 0) {
+        window_start = s.first + ((t - s.first) / s.period) * s.period;
+      } else if (t >= s.first + s.duration) {
+        continue;
+      }
+      if (t >= window_start && t < window_start + s.duration) {
+        t = window_start + s.duration;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace dfil::sim

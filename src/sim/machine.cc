@@ -23,17 +23,53 @@ void Machine::Deliver(NodeId dst, Datagram d, SimTime at) {
   }).Release();
 }
 
+void Machine::InjectAndDeliver(Datagram d, SimTime at) {
+  if (!injector_.enabled()) {
+    Deliver(d.dst, std::move(d), at);
+    return;
+  }
+  FaultDecision dec = injector_.Decide(d.src, d.dst, d.type, d.klass);
+  std::vector<Datagram> dups(dec.dup_delays.size(), d);
+  if (dec.extra_delay > 0) {
+    net_stats_.messages_delayed++;
+  }
+  if (dec.drop) {
+    net_stats_.messages_dropped++;
+    DFIL_LOG(kDebug, "net") << "drop " << d.src << "->" << d.dst << " type=" << d.type
+                            << " class=" << static_cast<int>(d.klass);
+  } else {
+    const SimTime t = injector_.AdjustForStall(d.dst, at + dec.extra_delay);
+    if (t != at + dec.extra_delay) {
+      net_stats_.stall_deferrals++;
+    }
+    Deliver(d.dst, std::move(d), t);
+  }
+  for (size_t i = 0; i < dups.size(); ++i) {
+    net_stats_.messages_duplicated++;
+    const SimTime base = at + dec.dup_delays[i];
+    const SimTime t = injector_.AdjustForStall(dups[i].dst, base);
+    if (t != base) {
+      net_stats_.stall_deferrals++;
+    }
+    DFIL_LOG(kDebug, "net") << "dup " << dups[i].src << "->" << dups[i].dst
+                            << " type=" << dups[i].type << " at+" << ToMilliseconds(t - at)
+                            << "ms";
+    Deliver(dups[i].dst, std::move(dups[i]), t);
+  }
+}
+
 void Machine::Send(Datagram d, SimTime ready) {
   DFIL_CHECK(d.dst != kBroadcastDst) << "use Broadcast()";
   net_stats_.messages_sent++;
   net_stats_.bytes_sent += d.payload.size();
   TxPlan plan = network_->PlanUnicast(d.src, d.dst, d.payload.size(), ready);
   if (plan.dropped) {
+    // Forced by a scripted network model.
     net_stats_.messages_dropped++;
     DFIL_LOG(kDebug, "net") << "drop " << d.src << "->" << d.dst << " type=" << d.type;
     return;
   }
-  Deliver(d.dst, std::move(d), plan.deliver_at);
+  InjectAndDeliver(std::move(d), plan.deliver_at);
 }
 
 void Machine::Broadcast(Datagram d, SimTime ready) {
@@ -56,7 +92,7 @@ void Machine::Broadcast(Datagram d, SimTime ready) {
     }
     Datagram copy = d;
     copy.dst = dsts[i];
-    Deliver(dsts[i], std::move(copy), plans[i].deliver_at);
+    InjectAndDeliver(std::move(copy), plans[i].deliver_at);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "src/common/types.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/network.h"
 
 namespace dfil::sim {
@@ -27,11 +28,13 @@ namespace dfil::sim {
 inline constexpr NodeId kBroadcastDst = -2;
 
 // A raw (unreliable, UDP-like) datagram. `type` is an upper-layer tag the simulator does not
-// interpret; the payload is opaque bytes.
+// interpret; the payload is opaque bytes. `klass` is the transport class stamped by the Packet
+// layer (request/reply/raw/ack) so fault rules can target e.g. only replies.
 struct Datagram {
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
   uint32_t type = 0;
+  MsgClass klass = MsgClass::kUnknown;
   std::vector<std::byte> payload;
 };
 
@@ -76,8 +79,11 @@ struct RunResult {
 
 class Machine {
  public:
-  Machine(std::unique_ptr<NetworkModel> network, const CostModel& costs)
-      : network_(std::move(network)), costs_(costs) {}
+  // `fault_plan` drives the adversarial fault injection applied on the delivery path (drop,
+  // duplication, extra delay, receiver stalls); the default plan injects nothing.
+  Machine(std::unique_ptr<NetworkModel> network, const CostModel& costs,
+          FaultPlan fault_plan = {})
+      : network_(std::move(network)), costs_(costs), injector_(std::move(fault_plan)) {}
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -89,6 +95,8 @@ class Machine {
   NetworkModel& network() { return *network_; }
   int num_nodes() const { return static_cast<int>(hosts_.size()); }
   MessageStats& net_stats() { return net_stats_; }
+
+  const FaultInjector& injector() const { return injector_; }
 
   // Hands a datagram to the network at time `ready` (normally the sender's current clock, after
   // it charged send overhead). Lost datagrams count in net_stats but are never delivered.
@@ -130,11 +138,14 @@ class Machine {
   RunResult Run(SimTime max_virtual_time = kSimTimeNever);
 
  private:
+  // Applies the fault plan (drop/duplicate/delay/stall) to one planned delivery.
+  void InjectAndDeliver(Datagram d, SimTime at);
   void Deliver(NodeId dst, Datagram d, SimTime at);
   std::string BuildDeadlockReport() const;
 
   std::unique_ptr<NetworkModel> network_;
   CostModel costs_;
+  FaultInjector injector_;
   std::vector<NodeHost*> hosts_;
   EventQueue events_;
   MessageStats net_stats_;

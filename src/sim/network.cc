@@ -16,21 +16,19 @@ TxPlan SharedEthernet::PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime
   DFIL_DCHECK(src != dst);
   TxPlan plan;
   plan.deliver_at = Transmit(bytes, ready) + costs_.propagation_delay;
-  plan.dropped = rng_.NextBernoulli(loss_rate_);
   return plan;
 }
 
 void SharedEthernet::PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes,
                                    SimTime ready, std::vector<TxPlan>& plans) {
   (void)src;
-  // One transmission; every station hears the same frame, with independent loss at each receiver.
+  // One transmission; every station hears the same frame.
   SimTime done = Transmit(bytes, ready) + costs_.propagation_delay;
   plans.clear();
   plans.reserve(dsts.size());
   for (size_t i = 0; i < dsts.size(); ++i) {
     TxPlan plan;
     plan.deliver_at = done;
-    plan.dropped = rng_.NextBernoulli(loss_rate_);
     plans.push_back(plan);
   }
 }
@@ -44,7 +42,6 @@ TxPlan SwitchedNetwork::PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTim
   busy_total_ += wire;
   TxPlan plan;
   plan.deliver_at = start + wire + costs_.propagation_delay;
-  plan.dropped = rng_.NextBernoulli(loss_rate_);
   return plan;
 }
 

@@ -1,21 +1,23 @@
 // Network models.
 //
 // A NetworkModel decides when a datagram handed to the wire at `ready` arrives at its
-// destination(s), and whether it is lost. Two models are provided:
+// destination(s). Two models are provided:
 //
 //  * SharedEthernet — the paper's testbed: one 10 Mb/s medium shared by all nodes. Transmissions
 //    serialize on the medium, which is what saturates the network in the 8-node matmul run
 //    (paper §4.1) and makes communication/computation overlap profitable.
 //  * SwitchedNetwork — an ablation: full-duplex point-to-point links with no shared contention.
 //
-// Loss is injected with a seeded RNG so lossy runs are reproducible.
+// Network models are pure timing: loss, duplication, reordering, and stalls are injected by the
+// Machine-owned sim::FaultInjector (src/sim/fault_plan.h), so fault decisions are independent of
+// the timing model and stable under topology changes. A model may still force-drop a frame via
+// TxPlan::dropped — scripted test networks use that for deterministic single-frame scenarios.
 #ifndef DFIL_SIM_NETWORK_H_
 #define DFIL_SIM_NETWORK_H_
 
 #include <cstddef>
 #include <vector>
 
-#include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/sim/cost_model.h"
 
@@ -24,7 +26,7 @@ namespace dfil::sim {
 // Outcome of presenting one frame to the network.
 struct TxPlan {
   SimTime deliver_at = 0;  // arrival time at the receiver's interface
-  bool dropped = false;
+  bool dropped = false;    // forced drop (scripted models only; timing models never set it)
 };
 
 class NetworkModel {
@@ -47,8 +49,7 @@ class NetworkModel {
 // FIFO queueing at the medium).
 class SharedEthernet : public NetworkModel {
  public:
-  SharedEthernet(const CostModel& costs, double loss_rate, uint64_t seed)
-      : costs_(costs), loss_rate_(loss_rate), rng_(seed) {}
+  explicit SharedEthernet(const CostModel& costs) : costs_(costs) {}
 
   TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) override;
   void PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes, SimTime ready,
@@ -60,8 +61,6 @@ class SharedEthernet : public NetworkModel {
   SimTime Transmit(size_t bytes, SimTime ready);
 
   CostModel costs_;
-  double loss_rate_;
-  Rng rng_;
   SimTime medium_free_at_ = 0;
   SimTime busy_total_ = 0;
 };
@@ -70,8 +69,8 @@ class SharedEthernet : public NetworkModel {
 // no shared-medium contention.
 class SwitchedNetwork : public NetworkModel {
  public:
-  SwitchedNetwork(const CostModel& costs, int num_nodes, double loss_rate, uint64_t seed)
-      : costs_(costs), loss_rate_(loss_rate), rng_(seed), nic_free_at_(num_nodes, 0) {}
+  SwitchedNetwork(const CostModel& costs, int num_nodes)
+      : costs_(costs), nic_free_at_(num_nodes, 0) {}
 
   TxPlan PlanUnicast(NodeId src, NodeId dst, size_t bytes, SimTime ready) override;
   void PlanBroadcast(NodeId src, const std::vector<NodeId>& dsts, size_t bytes, SimTime ready,
@@ -80,8 +79,6 @@ class SwitchedNetwork : public NetworkModel {
 
  private:
   CostModel costs_;
-  double loss_rate_;
-  Rng rng_;
   std::vector<SimTime> nic_free_at_;
   SimTime busy_total_ = 0;
 };

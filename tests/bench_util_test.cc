@@ -1,0 +1,201 @@
+// JsonReport round-trip: the bench result files are consumed by commit-over-commit tracking, so
+// the emitted JSON must parse back to exactly the numbers that went in (including doubles, which
+// are printed with %.17g — enough digits to round-trip a double exactly).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dfil::bench {
+namespace {
+
+// Minimal parser for the flat JsonReport shape: one object holding a "bench" string, scalar
+// number fields, and a "rows" array of flat {key: number} objects. Strict enough that any
+// malformed emission (missing comma, unquoted key, truncated number) fails the test.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string text) : s_(std::move(text)) {}
+
+  bool Parse() {
+    SkipWs();
+    if (!Consume('{')) {
+      return false;
+    }
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!first && !Consume(',')) {
+        return false;
+      }
+      first = false;
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      SkipWs();
+      if (key == "bench") {
+        if (!ParseString(&bench)) {
+          return false;
+        }
+      } else if (key == "rows") {
+        if (!ParseRows()) {
+          return false;
+        }
+      } else {
+        double v = 0;
+        if (!ParseNumber(&v)) {
+          return false;
+        }
+        scalars[key] = v;
+      }
+    }
+  }
+
+  std::string bench;
+  std::map<std::string, double> scalars;
+  std::vector<std::map<std::string, double>> rows;
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      out->push_back(s_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) {
+      return false;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool ParseRows() {
+    if (!Consume('[')) {
+      return false;
+    }
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!first && !Consume(',')) {
+        return false;
+      }
+      first = false;
+      SkipWs();
+      if (!Consume('{')) {
+        return false;
+      }
+      std::map<std::string, double> row;
+      bool first_field = true;
+      while (true) {
+        SkipWs();
+        if (Consume('}')) {
+          break;
+        }
+        if (!first_field && !Consume(',')) {
+          return false;
+        }
+        first_field = false;
+        SkipWs();
+        std::string key;
+        double v = 0;
+        if (!ParseString(&key)) {
+          return false;
+        }
+        SkipWs();
+        if (!Consume(':')) {
+          return false;
+        }
+        SkipWs();
+        if (!ParseNumber(&v)) {
+          return false;
+        }
+        row[key] = v;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const std::string s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonReportTest, EmitParseRoundTripsExactly) {
+  JsonReport jr("roundtrip");
+  jr.Scalar("nodes", 8);
+  jr.Scalar("loss_rate", 0.0125);
+  jr.Scalar("pi_ish", 3.141592653589793);        // needs all 17 significant digits
+  jr.Scalar("big_count", 1e15);                  // integral double beyond int32 range
+  jr.Scalar("tiny", 4.9406564584124654e-16);     // sub-normal-ish magnitude
+  jr.AddRow().Set("nodes", 1).Set("time_s", 1.5).Set("speedup", 1.0);
+  jr.AddRow().Set("nodes", 2).Set("time_s", 0.7619047619047619).Set("speedup", 1.96875);
+  jr.AddRow();  // empty row must survive too
+
+  FlatJsonParser parsed(jr.ToJson());
+  ASSERT_TRUE(parsed.Parse()) << jr.ToJson();
+
+  EXPECT_EQ(parsed.bench, "roundtrip");
+  ASSERT_EQ(parsed.scalars.size(), 5u);
+  EXPECT_EQ(parsed.scalars.at("nodes"), 8.0);
+  EXPECT_EQ(parsed.scalars.at("loss_rate"), 0.0125);
+  EXPECT_EQ(parsed.scalars.at("pi_ish"), 3.141592653589793);
+  EXPECT_EQ(parsed.scalars.at("big_count"), 1e15);
+  EXPECT_EQ(parsed.scalars.at("tiny"), 4.9406564584124654e-16);
+
+  ASSERT_EQ(parsed.rows.size(), 3u);
+  EXPECT_EQ(parsed.rows[0].at("nodes"), 1.0);
+  EXPECT_EQ(parsed.rows[0].at("time_s"), 1.5);
+  EXPECT_EQ(parsed.rows[1].at("time_s"), 0.7619047619047619);
+  EXPECT_EQ(parsed.rows[1].at("speedup"), 1.96875);
+  EXPECT_TRUE(parsed.rows[2].empty());
+}
+
+TEST(JsonReportTest, EmptyReportIsStillValidJson) {
+  JsonReport jr("empty");
+  FlatJsonParser parsed(jr.ToJson());
+  ASSERT_TRUE(parsed.Parse()) << jr.ToJson();
+  EXPECT_EQ(parsed.bench, "empty");
+  EXPECT_TRUE(parsed.scalars.empty());
+  EXPECT_TRUE(parsed.rows.empty());
+}
+
+}  // namespace
+}  // namespace dfil::bench

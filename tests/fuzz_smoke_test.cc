@@ -1,0 +1,38 @@
+// Fixed-seed fuzz smoke sweep, one test per scenario (seeds [0, 64) each), run in tier-1 CI
+// under the `fuzz-smoke` ctest label. The sweep is deterministic: a red test names the scenario,
+// and the failing seed is in the assertion message — replay it with
+//   tools/dfil_fuzz --scenario <name> --seed <seed> --log
+// The nightly-depth sweep is the `fuzz_nightly` target (512 seeds per scenario).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/apps/fuzz_driver.h"
+
+namespace dfil::apps {
+namespace {
+
+constexpr uint64_t kSmokeSeeds = 64;
+
+class FuzzSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzSmokeTest, SweepIsClean) {
+  for (uint64_t seed = 0; seed < kSmokeSeeds; ++seed) {
+    const FuzzResult r = RunFuzzCase(GetParam(), seed, {});
+    EXPECT_TRUE(r.ok()) << r.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, FuzzSmokeTest, ::testing::ValuesIn(FuzzScenarios()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dfil::apps

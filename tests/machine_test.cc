@@ -62,7 +62,7 @@ struct Rig {
 
   Rig() {
     CostModel costs = CostModel::SunIpcEthernet();
-    machine = std::make_unique<Machine>(std::make_unique<SharedEthernet>(costs, 0.0, 1), costs);
+    machine = std::make_unique<Machine>(std::make_unique<SharedEthernet>(costs), costs);
     a = std::make_unique<ScriptHost>(0, machine.get());
     b = std::make_unique<ScriptHost>(1, machine.get());
     machine->AddHost(a.get());
@@ -128,7 +128,7 @@ TEST(MachineTest, CancelledTimerNeverFires) {
 
 TEST(MachineTest, BroadcastReachesAllOthers) {
   CostModel costs = CostModel::SunIpcEthernet();
-  auto machine = std::make_unique<Machine>(std::make_unique<SharedEthernet>(costs, 0.0, 1), costs);
+  auto machine = std::make_unique<Machine>(std::make_unique<SharedEthernet>(costs), costs);
   std::vector<std::unique_ptr<ScriptHost>> hosts;
   for (NodeId n = 0; n < 4; ++n) {
     hosts.push_back(std::make_unique<ScriptHost>(n, machine.get()));

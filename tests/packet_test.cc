@@ -41,8 +41,8 @@ struct Rig {
 
   explicit Rig(double loss_rate = 0.0, uint64_t seed = 1) {
     sim::CostModel costs = sim::CostModel::SunIpcEthernet();
-    machine = std::make_unique<sim::Machine>(
-        std::make_unique<sim::SharedEthernet>(costs, loss_rate, seed), costs);
+    machine = std::make_unique<sim::Machine>(std::make_unique<sim::SharedEthernet>(costs),
+                                             costs, sim::FaultPlan::UniformLoss(loss_rate, seed));
     a = std::make_unique<MiniHost>(0, machine.get());
     b = std::make_unique<MiniHost>(1, machine.get());
     machine->AddHost(a.get());
@@ -223,8 +223,8 @@ TEST_P(AckModeLossTest, TcpLikeModeIsAlsoReliable) {
   PacketConfig cfg;
   cfg.ack_replies = true;
   sim::CostModel costs = sim::CostModel::SunIpcEthernet();
-  auto machine = std::make_unique<sim::Machine>(
-      std::make_unique<sim::SharedEthernet>(costs, GetParam(), 11), costs);
+  auto machine = std::make_unique<sim::Machine>(std::make_unique<sim::SharedEthernet>(costs),
+                                                costs, sim::FaultPlan::UniformLoss(GetParam(), 11));
   MiniHost a(0, machine.get(), cfg);
   MiniHost b(1, machine.get(), cfg);
   machine->AddHost(&a);

@@ -6,6 +6,7 @@
 #include "src/common/rng.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/fault_plan.h"
 #include "src/sim/network.h"
 
 namespace dfil::sim {
@@ -79,7 +80,7 @@ TEST(CostModelTest, WireTimeMatchesTenMegabit) {
 
 TEST(SharedEthernetTest, TransmissionsSerializeOnTheMedium) {
   CostModel m = CostModel::SunIpcEthernet();
-  SharedEthernet net(m, 0.0, 1);
+  SharedEthernet net(m);
   TxPlan a = net.PlanUnicast(0, 1, 4096, /*ready=*/0);
   TxPlan b = net.PlanUnicast(2, 3, 4096, /*ready=*/0);
   // Same ready time, but the medium is busy: b starts after a finishes.
@@ -89,7 +90,7 @@ TEST(SharedEthernetTest, TransmissionsSerializeOnTheMedium) {
 
 TEST(SharedEthernetTest, BroadcastIsOneTransmission) {
   CostModel m = CostModel::SunIpcEthernet();
-  SharedEthernet net(m, 0.0, 1);
+  SharedEthernet net(m);
   std::vector<TxPlan> plans;
   net.PlanBroadcast(0, {1, 2, 3}, 1000, 0, plans);
   ASSERT_EQ(plans.size(), 3u);
@@ -100,7 +101,7 @@ TEST(SharedEthernetTest, BroadcastIsOneTransmission) {
 
 TEST(SwitchedNetworkTest, DistinctSourcesDoNotContend) {
   CostModel m = CostModel::SunIpcEthernet();
-  SwitchedNetwork net(m, 4, 0.0, 1);
+  SwitchedNetwork net(m, 4);
   TxPlan a = net.PlanUnicast(0, 1, 4096, 0);
   TxPlan b = net.PlanUnicast(2, 3, 4096, 0);
   EXPECT_EQ(a.deliver_at, b.deliver_at);  // full parallelism across links
@@ -108,7 +109,7 @@ TEST(SwitchedNetworkTest, DistinctSourcesDoNotContend) {
 
 TEST(SwitchedNetworkTest, SameSourceSerializesAtTheNic) {
   CostModel m = CostModel::SunIpcEthernet();
-  SwitchedNetwork net(m, 4, 0.0, 1);
+  SwitchedNetwork net(m, 4);
   TxPlan a = net.PlanUnicast(0, 1, 4096, 0);
   TxPlan b = net.PlanUnicast(0, 2, 4096, 0);
   EXPECT_GE(b.deliver_at - a.deliver_at, m.WireTime(4096));
@@ -117,12 +118,11 @@ TEST(SwitchedNetworkTest, SameSourceSerializesAtTheNic) {
 class LossRateTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(LossRateTest, DropRateTracksProbability) {
-  CostModel m = CostModel::SunIpcEthernet();
-  SharedEthernet net(m, GetParam(), 42);
+  FaultInjector inj(FaultPlan::UniformLoss(GetParam(), 42));
   int dropped = 0;
   constexpr int kFrames = 20000;
   for (int i = 0; i < kFrames; ++i) {
-    if (net.PlanUnicast(0, 1, 100, static_cast<SimTime>(i) * 1000000).dropped) {
+    if (inj.Decide(0, 1, 0, MsgClass::kUnknown).drop) {
       ++dropped;
     }
   }
@@ -130,6 +130,108 @@ TEST_P(LossRateTest, DropRateTracksProbability) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, LossRateTest, ::testing::Values(0.0, 0.01, 0.1, 0.5));
+
+TEST(FaultInjectorTest, DecisionsAreReplayable) {
+  FaultPlan plan = FaultPlan::UniformLoss(0.3, 7);
+  FaultRule dup;
+  dup.klass = MsgClass::kReply;
+  dup.duplicate = 0.5;
+  dup.delay_max = Microseconds(100);
+  plan.rules.push_back(dup);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId src = i % 3;
+    const NodeId dst = (i + 1) % 3;
+    const MsgClass k = (i % 2) != 0 ? MsgClass::kReply : MsgClass::kRequest;
+    const FaultDecision da = a.Decide(src, dst, 1, k);
+    const FaultDecision db = b.Decide(src, dst, 1, k);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.extra_delay, db.extra_delay);
+    EXPECT_EQ(da.dup_delays, db.dup_delays);
+  }
+}
+
+// The satellite fix this PR pins: decisions are keyed by (src, dst, per-pair ordinal), so the
+// fate of pair (0,1)'s messages does not change when unrelated traffic is interleaved (the old
+// per-receiver shared Rng stream reshuffled every decision when topology or timing changed).
+TEST(FaultInjectorTest, PairDecisionsAreStableUnderUnrelatedTraffic) {
+  const FaultPlan plan = FaultPlan::UniformLoss(0.4, 99);
+  FaultInjector quiet(plan);
+  FaultInjector noisy(plan);
+  std::vector<bool> quiet_drops;
+  std::vector<bool> noisy_drops;
+  for (int i = 0; i < 500; ++i) {
+    quiet_drops.push_back(quiet.Decide(0, 1, 5, MsgClass::kRequest).drop);
+    // The noisy run interleaves three unrelated flows before each (0,1) message.
+    noisy.Decide(2, 3, 5, MsgClass::kRequest);
+    noisy.Decide(3, 1, 5, MsgClass::kReply);
+    noisy.Decide(1, 0, 5, MsgClass::kReply);
+    noisy_drops.push_back(noisy.Decide(0, 1, 5, MsgClass::kRequest).drop);
+  }
+  EXPECT_EQ(quiet_drops, noisy_drops);
+}
+
+TEST(FaultInjectorTest, RuleSeqWindowTargetsOneMessage) {
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultRule r;
+  r.src = 0;
+  r.dst = 1;
+  r.drop = 1.0;
+  r.seq_from = 2;  // drop exactly the 3rd (0->1) message
+  r.seq_to = 3;
+  plan.rules.push_back(r);
+  FaultInjector inj(plan);
+  std::vector<bool> drops;
+  for (int i = 0; i < 5; ++i) {
+    drops.push_back(inj.Decide(0, 1, 0, MsgClass::kUnknown).drop);
+  }
+  EXPECT_EQ(drops, (std::vector<bool>{false, false, true, false, false}));
+}
+
+TEST(FaultInjectorTest, StallDefersIntoWindowEnd) {
+  FaultPlan plan;
+  plan.seed = 1;
+  StallSpec s;
+  s.node = 2;
+  s.first = Milliseconds(10);
+  s.period = Milliseconds(100);
+  s.duration = Milliseconds(5);
+  plan.stalls.push_back(s);
+  FaultInjector inj(plan);
+  // Before, inside, and after the first window; inside the second (periodic) window.
+  EXPECT_EQ(inj.AdjustForStall(2, Milliseconds(9)), Milliseconds(9));
+  EXPECT_EQ(inj.AdjustForStall(2, Milliseconds(12)), Milliseconds(15));
+  EXPECT_EQ(inj.AdjustForStall(2, Milliseconds(16)), Milliseconds(16));
+  EXPECT_EQ(inj.AdjustForStall(2, Milliseconds(111)), Milliseconds(115));
+  // Other nodes are unaffected.
+  EXPECT_EQ(inj.AdjustForStall(1, Milliseconds(12)), Milliseconds(12));
+}
+
+TEST(FaultInjectorTest, BurstLossClustersDrops) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.burst.p_good_to_bad = 0.05;
+  plan.burst.p_bad_to_good = 0.3;
+  plan.burst.loss_good = 0.0;
+  plan.burst.loss_bad = 1.0;
+  FaultInjector inj(plan);
+  int drops = 0;
+  int runs = 0;  // maximal consecutive-drop runs
+  bool in_run = false;
+  constexpr int kFrames = 20000;
+  for (int i = 0; i < kFrames; ++i) {
+    const bool drop = inj.Decide(0, 1, 0, MsgClass::kUnknown).drop;
+    drops += drop ? 1 : 0;
+    runs += (drop && !in_run) ? 1 : 0;
+    in_run = drop;
+  }
+  ASSERT_GT(drops, 0);
+  // Correlated loss: far fewer runs than drops (independent loss would give runs ~= drops here,
+  // since the overall drop rate is low).
+  EXPECT_LT(runs * 2, drops);
+}
 
 TEST(RngTest, DeterministicAcrossInstances) {
   Rng a(7);

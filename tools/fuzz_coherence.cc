@@ -1,0 +1,128 @@
+// Standalone coherence fuzzer: sweeps (scenario, seed) cases through the fault-injection harness
+// and the DSM coherence oracle (src/apps/fuzz_driver.h), or replays one failing case.
+//
+//   dfil_fuzz                          # default sweep: every scenario x seeds [0, 64)
+//   dfil_fuzz --seeds 512              # wider sweep (the fuzz_nightly target)
+//   dfil_fuzz --scenario reorder --seed 17          # replay one case
+//   dfil_fuzz --scenario reorder --seed 17 --log    # ... with kDebug packet logging
+//   dfil_fuzz --list                   # print scenario names
+//
+// Exit status is the number of failing cases (capped at 125), so CI can gate on it directly.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/fuzz_driver.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--scenario NAME [--seed S] [--log]] [--list]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_seeds = 64;
+  std::string scenario;
+  uint64_t seed = 0;
+  bool have_seed = false;
+  bool log_packets = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(Usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const std::string& s : dfil::apps::FuzzScenarios()) {
+        std::printf("%s\n", s.c_str());
+      }
+      return 0;
+    } else if (arg == "--seeds") {
+      num_seeds = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--scenario") {
+      scenario = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 0);
+      have_seed = true;
+    } else if (arg == "--log") {
+      log_packets = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  dfil::apps::FuzzOptions opts;
+  opts.log_packets = log_packets;
+
+  int failures = 0;
+  uint64_t cases = 0;
+  auto run = [&](const std::string& sc, uint64_t sd) {
+    const dfil::apps::FuzzResult r = dfil::apps::RunFuzzCase(sc, sd, opts);
+    ++cases;
+    if (!r.ok() || have_seed) {
+      std::printf("%s\n", r.Summary().c_str());
+      for (const std::string& v : r.violations) {
+        std::printf("    violation: %s\n", v.c_str());
+      }
+    }
+    if (have_seed) {
+      std::printf(
+          "    checks=%llu quiescent_points=%llu makespan_ms=%.3f\n"
+          "    dropped=%llu duplicated=%llu delayed=%llu stall_deferrals=%llu retransmits=%llu\n"
+          "    grant_reserves=%llu stale_invals=%llu stale_transfer_dups=%llu "
+          "discarded_installs=%llu\n"
+          "    read_faults=%llu write_faults=%llu served=%llu invals_sent=%llu forwards=%llu "
+          "mirage_deferrals=%llu fetch_deferrals=%llu use_deferrals=%llu\n",
+          static_cast<unsigned long long>(r.oracle_checks),
+          static_cast<unsigned long long>(r.quiescent_points), dfil::ToMilliseconds(r.makespan),
+          static_cast<unsigned long long>(r.net.messages_dropped),
+          static_cast<unsigned long long>(r.net.messages_duplicated),
+          static_cast<unsigned long long>(r.net.messages_delayed),
+          static_cast<unsigned long long>(r.net.stall_deferrals),
+          static_cast<unsigned long long>(r.net.retransmissions),
+          static_cast<unsigned long long>(r.dsm.grant_reserves),
+          static_cast<unsigned long long>(r.dsm.stale_invalidations_ignored),
+          static_cast<unsigned long long>(r.dsm.stale_transfer_dups_ignored),
+          static_cast<unsigned long long>(r.dsm.discarded_installs),
+          static_cast<unsigned long long>(r.dsm.read_faults),
+          static_cast<unsigned long long>(r.dsm.write_faults),
+          static_cast<unsigned long long>(r.dsm.page_requests_served),
+          static_cast<unsigned long long>(r.dsm.invalidations_sent),
+          static_cast<unsigned long long>(r.dsm.page_forwards),
+          static_cast<unsigned long long>(r.dsm.mirage_deferrals),
+          static_cast<unsigned long long>(r.dsm.fetch_deferrals),
+          static_cast<unsigned long long>(r.dsm.use_deferrals));
+    }
+    if (!r.ok()) {
+      ++failures;
+    }
+  };
+
+  if (!scenario.empty()) {
+    if (have_seed) {
+      run(scenario, seed);
+    } else {
+      for (uint64_t s = 0; s < num_seeds; ++s) {
+        run(scenario, s);
+      }
+    }
+  } else {
+    for (const std::string& sc : dfil::apps::FuzzScenarios()) {
+      for (uint64_t s = 0; s < num_seeds; ++s) {
+        run(sc, s);
+      }
+    }
+  }
+
+  std::printf("%llu case(s), %d failure(s)\n", static_cast<unsigned long long>(cases), failures);
+  return failures > 125 ? 125 : failures;
+}
