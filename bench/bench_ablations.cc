@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("%-34s %8.2f s (medium busy %.2f s)\n", net.name, run.seconds(),
                   ToSeconds(run.report.medium_busy));
+      if (&net == nets) {
+        bench::EmitMetrics(run.report, "ablations_ethernet8");
+      }
       jr.AddRow()
           .Set("ablation", 1)
           .Set("network", static_cast<double>(&net - nets))

@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     DFIL_CHECK_EQ(df.checksum, seq.checksum);
     rows.push_back(bench::SpeedupRow{nodes, cg.seconds(), df.seconds(), paper_cg[i] * ratio,
                                      paper_df[i] * ratio, seq.seconds(), 92.1 * ratio});
+    if (nodes == 8) {
+      bench::EmitMetrics(df.report, "exprtree_df8");
+    }
   }
   bench::PrintSpeedupTable(rows);
   std::printf("paper's analytic speedup cap for height 7: 3.85 at 4 nodes, 7.06 at 8 nodes\n");

@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
       std::printf("%-6d | %8.2f %8.2f\n", nodes, df.seconds(), seq.seconds() / df.seconds());
       jr.AddRow().Set("extension", 1).Set("nodes", nodes).Set("df_s", df.seconds()).Set(
           "seq_s", seq.seconds());
+      if (nodes == 8) {
+        bench::EmitMetrics(df.report, "fft_df8");
+      }
     }
     std::printf("(honest negative result: on 10 Mb/s Ethernet the transform is bandwidth-bound —\n"
                 " every level moves the whole array through the DSM, so distribution LOSES. This\n"

@@ -81,5 +81,42 @@ int main(int argc, char** argv) {
               "%+5.1f%%   (paper: 9%% and 21%%)\n",
               100.0 * (fig12[2] - fig5[2]) / fig12[2], 100.0 * (fig12[3] - fig5[3]) / fig12[3]);
   jr.Write();
+
+  // Figure 9 companion: fixed-size 8-node runs, one per PCP, exported as dfil-metrics-v1 JSON
+  // for `dfil_report figure9/report` and the CI counter-regression gate. Iteration counts are
+  // fixed — NOT scaled by --quick — so the checked-in gate baseline holds in both modes;
+  // migratory gets fewer iterations because every read-shared edge page ping-pongs.
+  bench::Header("Figure 9 companion: 8-node message counts per PCP (see tools/dfil_report)");
+  struct MetricsRun {
+    const char* label;
+    dsm::Pcp pcp;
+    int iterations;
+    bool trace;
+  };
+  const MetricsRun metrics_runs[] = {
+      {"jacobi_mig8", dsm::Pcp::kMigratory, 30, false},
+      {"jacobi_wi8", dsm::Pcp::kWriteInvalidate, 60, false},
+      {"jacobi_ii8", dsm::Pcp::kImplicitInvalidate, 60, true},
+  };
+  for (const MetricsRun& mr : metrics_runs) {
+    apps::JacobiParams p = base_params;
+    p.iterations = mr.iterations;
+    core::ClusterConfig cfg = bench::PaperConfig(8);
+    cfg.dsm.pcp = mr.pcp;
+    cfg.trace_enabled = mr.trace;
+    apps::AppRun run = apps::RunJacobiDf(p, cfg);
+    DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
+    std::printf("%-12s %-20s %3d iterations: %7.1fs, %llu page-request msgs\n", mr.label,
+                dsm::PcpName(mr.pcp), mr.iterations, run.seconds(),
+                static_cast<unsigned long long>([&] {
+                  uint64_t total = 0;
+                  for (const auto& nr : run.report.nodes) {
+                    total += nr.dsm.page_request_messages();
+                  }
+                  return total;
+                }()));
+    bench::EmitMetrics(run.report, mr.label);
+    bench::EmitTrace(run.report, mr.label);
+  }
   return 0;
 }

@@ -96,6 +96,9 @@ int main(int argc, char** argv) {
             .Set("prefetch_wasted", static_cast<double>(wasted))
             .Set("message_reduction_pct", msg_cut)
             .Set("time_reduction_pct", time_cut);
+        if (pcp == dsm::Pcp::kImplicitInvalidate && nodes == 8 && m.detector && m.hints) {
+          bench::EmitMetrics(df.report, "prefetch_ii8");
+        }
       }
     }
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/metrics_io.h"
 
 namespace dfil::bench {
 
@@ -138,6 +139,23 @@ inline void EmitSpeedupRows(JsonReport* jr, const std::vector<SpeedupRow>& rows)
         .Set("paper_cg_s", r.paper_cg)
         .Set("paper_df_s", r.paper_df);
   }
+}
+
+// Observability artifacts next to BENCH_<name>.json: METRICS_<label>.json (dfil-metrics-v1, the
+// input to tools/dfil_report and the CI regression gate) and, when the run was traced,
+// TRACE_<label>.json (Chrome trace-event JSON for Perfetto / chrome://tracing).
+inline void EmitMetrics(const core::RunReport& report, const std::string& label) {
+  core::WriteMetricsFile(report, label);
+}
+
+inline void EmitTrace(const core::RunReport& report, const std::string& label) {
+  if (report.trace == nullptr) {
+    return;
+  }
+  const std::string name = "TRACE_" + label + ".json";
+  std::ofstream out(name);
+  report.trace->WriteChromeTrace(out);
+  std::printf("wrote %s (%zu events)\n", name.c_str(), report.trace->event_count());
 }
 
 inline core::ClusterConfig PaperConfig(int nodes) {

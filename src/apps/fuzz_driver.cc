@@ -168,6 +168,7 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   cfg.packet.retransmit_timeout = Milliseconds(10.0);
   cfg.packet.retransmit_timeout_max = Milliseconds(40.0);
   cfg.max_virtual_time = Seconds(120.0);
+  cfg.trace_enabled = opts.capture_trace;
   cfg.fault_plan = BuildPlan(scenario, rng, cfg.nodes);
   cfg.fault_plan.seed = rng.NextU64() | 1;
 
@@ -238,6 +239,7 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   result.quiescent_points = oracle.quiescent_points();
   result.makespan = faulted.report.makespan;
   result.net = faulted.report.net;
+  result.trace = faulted.report.trace;
   for (const core::NodeReport& nr : faulted.report.nodes) {
     const DsmStats& d = nr.dsm;
     result.dsm.read_faults += d.read_faults;

@@ -17,15 +17,18 @@
 #define DFIL_APPS_FUZZ_DRIVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 
 namespace dfil::apps {
 
 struct FuzzOptions {
-  bool log_packets = false;  // enable kDebug logging for the faulted run (single-seed replay aid)
+  bool log_packets = false;   // enable kDebug logging for the faulted run (single-seed replay aid)
+  bool capture_trace = false;  // record a Chrome trace of the faulted run (FuzzResult::trace)
 };
 
 struct FuzzResult {
@@ -44,6 +47,11 @@ struct FuzzResult {
   // Cluster-wide totals from the faulted run (what the adversary actually exercised).
   MessageStats net;
   DsmStats dsm;
+
+  // The faulted run's trace (null unless FuzzOptions::capture_trace): spans plus the injection
+  // instants ("inject" track), so a replayed failure shows exactly which drop/dup/delay/stall
+  // decisions surrounded the misbehaving exchange.
+  std::shared_ptr<TraceRecorder> trace;
 
   bool ok() const { return completed && output_ok && violations.empty(); }
   // One-line verdict, e.g. "FAIL reorder seed=17 [jacobi wi n=3 ps=9]: 2 violations".

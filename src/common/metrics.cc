@@ -1,0 +1,131 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dfil {
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  if (std::abs(v) < 1e15 && v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+size_t Histogram::BucketOf(double value) {
+  if (!(value >= 1.0)) {  // also catches NaN and negatives
+    return 0;
+  }
+  int exp = static_cast<int>(std::floor(std::log2(value))) + 1;
+  // log2 can land one off at exact powers of two; nudge into [2^(k-1), 2^k).
+  while (exp > 1 && value < std::ldexp(1.0, exp - 1)) {
+    --exp;
+  }
+  while (exp < static_cast<int>(kBuckets) - 1 && value >= std::ldexp(1.0, exp)) {
+    ++exp;
+  }
+  return std::min<size_t>(static_cast<size_t>(exp), kBuckets - 1);
+}
+
+double Histogram::BucketLow(size_t i) { return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1); }
+
+double Histogram::BucketHigh(size_t i) { return std::ldexp(1.0, static_cast<int>(i)); }
+
+void Histogram::Record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += value;
+  buckets_[BucketOf(value)]++;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target sample (1-based, ceil so p100 == last sample's bucket).
+  const uint64_t rank = std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (seen + buckets_[i] >= rank) {
+      // Interpolate within the bucket, clamped to the observed min/max.
+      const double frac = static_cast<double>(rank - seen) / static_cast<double>(buckets_[i]);
+      const double lo = std::max(BucketLow(i), min_);
+      const double hi = std::min(BucketHigh(i), max_);
+      return lo + frac * (std::max(hi, lo) - lo);
+    }
+    seen += buckets_[i];
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::WriteJson(std::ostream& os) const {
+  os << "{\"count\":" << count_ << ",\"sum\":" << Num(sum_) << ",\"min\":" << Num(min())
+     << ",\"max\":" << Num(max()) << ",\"p50\":" << Num(Percentile(0.50))
+     << ",\"p90\":" << Num(Percentile(0.90)) << ",\"p99\":" << Num(Percentile(0.99))
+     << ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "[" << Num(BucketLow(i)) << "," << Num(BucketHigh(i)) << "," << buckets_[i] << "]";
+  }
+  os << "]}";
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os, const std::string& indent) const {
+  os << "{\n" << indent << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "\n" : ",\n") << indent << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent + "  ") << "},\n" << indent << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    os << (first ? "\n" : ",\n") << indent << "    \"" << name << "\": ";
+    hist.WriteJson(os);
+    first = false;
+  }
+  os << (first ? "" : "\n" + indent + "  ") << "}\n" << indent << "}";
+}
+
+}  // namespace dfil

@@ -1,11 +1,14 @@
 #include "src/common/trace.h"
 
+#include <cstdio>
+
 #include "src/common/check.h"
 
 namespace dfil {
 namespace {
 
-// Minimal JSON string escaping (names are runtime-generated identifiers, not user text).
+// Full JSON string escaping: quotes, backslash, and every control character (event names embed
+// runtime-generated identifiers, but fuzz scenarios and app tags can carry arbitrary bytes).
 void WriteEscaped(std::ostream& os, const std::string& s) {
   for (char c : s) {
     switch (c) {
@@ -15,11 +18,29 @@ void WriteEscaped(std::ostream& os, const std::string& s) {
       case '\\':
         os << "\\\\";
         break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
       case '\n':
         os << "\\n";
         break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
       default:
-        os << c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
     }
   }
 }
@@ -28,21 +49,31 @@ void WriteEscaped(std::ostream& os, const std::string& s) {
 
 void TraceRecorder::Begin(NodeId node, uint64_t tid, const char* category, std::string name,
                           SimTime ts) {
-  events_.push_back(Event{'B', node, tid, category, std::move(name), ts});
+  events_.push_back(Event{'B', node, tid, category, std::move(name), ts, 0});
   depth_[{node, tid}]++;
 }
 
 void TraceRecorder::End(NodeId node, uint64_t tid, SimTime ts) {
   auto it = depth_.find({node, tid});
-  DFIL_CHECK(it != depth_.end() && it->second > 0)
-      << "TraceRecorder::End without a matching Begin on node " << node << " thread " << tid;
+  if (it == depth_.end() || it->second <= 0) {
+    // No open span on this track: a caller closed more than it opened (or an aborted run resumed
+    // on a different thread). Dropping the event keeps the trace well-formed.
+    unmatched_ends_++;
+    return;
+  }
   it->second--;
-  events_.push_back(Event{'E', node, tid, "", "", ts});
+  events_.push_back(Event{'E', node, tid, "", "", ts, 0});
 }
 
 void TraceRecorder::Instant(NodeId node, uint64_t tid, const char* category, std::string name,
                             SimTime ts) {
-  events_.push_back(Event{'i', node, tid, category, std::move(name), ts});
+  events_.push_back(Event{'i', node, tid, category, std::move(name), ts, 0});
+}
+
+void TraceRecorder::Flow(NodeId node, uint64_t tid, char phase, const char* category,
+                         std::string name, SimTime ts, uint64_t flow_id) {
+  DFIL_DCHECK(phase == kFlowStart || phase == kFlowStep || phase == kFlowEnd);
+  events_.push_back(Event{phase, node, tid, category, std::move(name), ts, flow_id});
 }
 
 size_t TraceRecorder::open_spans() const {
@@ -56,7 +87,8 @@ size_t TraceRecorder::open_spans() const {
 void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
   os << "[";
   bool first = true;
-  for (const Event& e : events_) {
+  SimTime last_ts = 0;
+  auto emit = [&](const Event& e) {
     if (!first) {
       os << ",\n";
     }
@@ -64,14 +96,38 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
     os << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.node << ",\"tid\":" << e.tid
        << ",\"ts\":" << ToMicroseconds(e.ts);
     if (e.phase != 'E') {
-      os << ",\"cat\":\"" << e.category << "\",\"name\":\"";
+      os << ",\"cat\":\"";
+      WriteEscaped(os, e.category);
+      os << "\",\"name\":\"";
       WriteEscaped(os, e.name);
       os << "\"";
       if (e.phase == 'i') {
         os << ",\"s\":\"t\"";
+      } else if (e.phase == kFlowStart || e.phase == kFlowStep || e.phase == kFlowEnd) {
+        // bp:e binds the flow event to its enclosing slice (the default for 'f' is the next
+        // slice, which would detach the arc from the install span).
+        os << ",\"id\":" << e.flow_id << ",\"bp\":\"e\"";
       }
     }
     os << "}";
+  };
+  // Replayed open-span depth per track, so an aborted run's dangling spans can be closed.
+  std::map<std::pair<NodeId, uint64_t>, int> open;
+  for (const Event& e : events_) {
+    if (e.phase == 'B') {
+      open[{e.node, e.tid}]++;
+    } else if (e.phase == 'E') {
+      open[{e.node, e.tid}]--;
+    }
+    if (e.ts > last_ts) {
+      last_ts = e.ts;
+    }
+    emit(e);
+  }
+  for (const auto& [track, depth] : open) {
+    for (int i = 0; i < depth; ++i) {
+      emit(Event{'E', track.first, track.second, "", "", last_ts, 0});
+    }
   }
   os << "]\n";
 }

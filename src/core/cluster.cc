@@ -39,6 +39,7 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   if (config_.trace_enabled) {
     trace = std::make_shared<TraceRecorder>();
   }
+  machine_->SetTrace(trace.get());
   nodes_.clear();
   for (NodeId n = 0; n < config_.nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(n, config_, machine_.get(), &layout_));
@@ -60,6 +61,8 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   report.events = sim_result.events_dispatched;
   report.net = machine_->net_stats();
   report.medium_busy = machine_->network().MediumBusyTime();
+  report.pcp = dsm::PcpName(config_.dsm.pcp);
+  report.num_nodes = config_.nodes;
   report.trace = trace;
   for (auto& node : nodes_) {
     NodeReport nr;
@@ -69,6 +72,9 @@ RunReport Cluster::Run(const NodeMain& node_main) {
     nr.filaments = node->fil_stats();
     nr.dsm = node->dsm().stats();
     nr.packet = node->packet().stats();
+    nr.metrics = node->metrics();
+    nr.sent_by_service = node->packet().sent_by_service();
+    nr.page_heat = node->dsm().fault_heat();
     report.nodes.push_back(nr);
   }
   return report;

@@ -11,11 +11,14 @@
 #ifndef DFIL_CORE_CLUSTER_H_
 #define DFIL_CORE_CLUSTER_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/core/config.h"
@@ -33,6 +36,9 @@ struct NodeReport {
   FilamentStats filaments;
   DsmStats dsm;
   net::PacketStats packet;
+  MetricsRegistry metrics;          // live histograms + runtime counters
+  std::map<uint16_t, uint64_t> sent_by_service;  // Figure 9 message counts
+  std::vector<uint32_t> page_heat;  // demand faults per page on this node
 };
 
 struct RunReport {
@@ -43,6 +49,8 @@ struct RunReport {
   uint64_t events = 0;
   MessageStats net;                 // cluster-wide message counters
   SimTime medium_busy = 0;          // total wire occupancy (saturation diagnostics)
+  std::string pcp;                  // protocol name (PcpName), for report labelling
+  int num_nodes = 0;
   std::vector<NodeReport> nodes;
   // Execution trace (null unless ClusterConfig::trace_enabled); export with WriteChromeTrace.
   std::shared_ptr<TraceRecorder> trace;

@@ -1,0 +1,149 @@
+#include "src/core/metrics_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "src/net/packet.h"
+
+namespace dfil::core {
+namespace {
+
+// Every stats-struct field becomes a "<layer>.<name>" counter in one per-node registry, so the
+// JSON (and everything downstream: dfil_report, the CI gate) sees a single uniform namespace.
+MetricsRegistry FlattenNode(const NodeReport& nr) {
+  MetricsRegistry m = nr.metrics;  // live histograms + runtime counters first
+
+  const DsmStats& d = nr.dsm;
+  m.Set("dsm.read_faults", d.read_faults);
+  m.Set("dsm.write_faults", d.write_faults);
+  m.Set("dsm.page_requests_served", d.page_requests_served);
+  m.Set("dsm.invalidations_sent", d.invalidations_sent);
+  m.Set("dsm.invalidations_received", d.invalidations_received);
+  m.Set("dsm.implicit_invalidations", d.implicit_invalidations);
+  m.Set("dsm.page_forwards", d.page_forwards);
+  m.Set("dsm.mirage_deferrals", d.mirage_deferrals);
+  m.Set("dsm.fetch_deferrals", d.fetch_deferrals);
+  m.Set("dsm.use_deferrals", d.use_deferrals);
+  m.Set("dsm.single_page_requests", d.single_page_requests);
+  m.Set("dsm.bulk_requests", d.bulk_requests);
+  m.Set("dsm.bulk_pages_requested", d.bulk_pages_requested);
+  m.Set("dsm.bulk_pages_served", d.bulk_pages_served);
+  m.Set("dsm.bulk_misses", d.bulk_misses);
+  m.Set("dsm.prefetched_pages", d.prefetched_pages);
+  m.Set("dsm.prefetch_wasted", d.prefetch_wasted);
+  m.Set("dsm.grant_reserves", d.grant_reserves);
+  m.Set("dsm.stale_invalidations_ignored", d.stale_invalidations_ignored);
+  m.Set("dsm.stale_transfer_dups_ignored", d.stale_transfer_dups_ignored);
+  m.Set("dsm.discarded_installs", d.discarded_installs);
+  m.Set("dsm.page_request_messages", d.page_request_messages());
+
+  const net::PacketStats& p = nr.packet;
+  m.Set("net.requests_sent", p.requests_sent);
+  m.Set("net.replies_sent", p.replies_sent);
+  m.Set("net.acks_sent", p.acks_sent);
+  m.Set("net.reply_retransmissions", p.reply_retransmissions);
+  m.Set("net.retransmissions", p.retransmissions);
+  m.Set("net.duplicate_requests", p.duplicate_requests);
+  m.Set("net.duplicate_replies", p.duplicate_replies);
+  m.Set("net.deferred_requests", p.deferred_requests);
+  m.Set("net.raw_sent", p.raw_sent);
+  m.Set("net.replies_first_serve", p.replies_first_serve);
+  m.Set("net.replies_rebuilt", p.replies_rebuilt);
+  for (const auto& [svc, count] : nr.sent_by_service) {
+    m.Set(std::string("net.sent.") + net::ServiceName(static_cast<net::Service>(svc)), count);
+  }
+
+  const FilamentStats& f = nr.filaments;
+  m.Set("fil.filaments_created", f.filaments_created);
+  m.Set("fil.filaments_run", f.filaments_run);
+  m.Set("fil.filaments_run_inlined", f.filaments_run_inlined);
+  m.Set("fil.forks_local", f.forks_local);
+  m.Set("fil.forks_pruned", f.forks_pruned);
+  m.Set("fil.forks_sent", f.forks_sent);
+  m.Set("fil.steals_attempted", f.steals_attempted);
+  m.Set("fil.steals_succeeded", f.steals_succeeded);
+  m.Set("fil.steals_denied", f.steals_denied);
+  m.Set("fil.steals_attempted_on_us", f.steals_attempted_on_us);
+  m.Set("fil.pool_suspensions", f.pool_suspensions);
+  m.Set("fil.server_threads_started", f.server_threads_started);
+
+  return m;
+}
+
+// Cluster totals: per-node counters summed, plus the network-wide MessageStats and the two gate
+// counters the CI workflow tracks.
+std::map<std::string, uint64_t> ClusterCounters(const RunReport& report) {
+  std::map<std::string, uint64_t> totals;
+  for (const NodeReport& nr : report.nodes) {
+    const MetricsRegistry flat = FlattenNode(nr);  // bound: counters() refers into it
+    for (const auto& [name, value] : flat.counters()) {
+      totals[name] += value;
+    }
+    totals["net.barrier_messages"] +=
+        nr.sent_by_service.count(static_cast<uint16_t>(net::Service::kReduceUp)) != 0
+            ? nr.sent_by_service.at(static_cast<uint16_t>(net::Service::kReduceUp))
+            : 0;
+    totals["net.barrier_messages"] +=
+        nr.sent_by_service.count(static_cast<uint16_t>(net::Service::kReduceDone)) != 0
+            ? nr.sent_by_service.at(static_cast<uint16_t>(net::Service::kReduceDone))
+            : 0;
+  }
+  totals["net.messages_sent"] = report.net.messages_sent;
+  totals["net.messages_dropped"] = report.net.messages_dropped;
+  totals["net.bytes_sent"] = report.net.bytes_sent;
+  totals["net.messages_duplicated"] = report.net.messages_duplicated;
+  totals["net.messages_delayed"] = report.net.messages_delayed;
+  totals["net.stall_deferrals"] = report.net.stall_deferrals;
+  return totals;
+}
+
+}  // namespace
+
+void WriteMetricsJson(const RunReport& report, const std::string& label, std::ostream& os) {
+  os << "{\n  \"schema\": \"dfil-metrics-v1\",\n  \"label\": \"" << label << "\",\n  \"pcp\": \""
+     << report.pcp << "\",\n  \"nodes\": " << report.num_nodes
+     << ",\n  \"completed\": " << (report.completed ? 1 : 0)
+     << ",\n  \"makespan_us\": " << ToMicroseconds(report.makespan) << ",\n  \"cluster\": {\n"
+     << "    \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : ClusterCounters(report)) {
+    os << (first ? "\n" : ",\n") << "      \"" << name << "\": " << value;
+    first = false;
+  }
+  os << "\n    }\n  },\n  \"per_node\": [";
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeReport& nr = report.nodes[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\n      \"node\": " << nr.node
+       << ",\n      \"finished_at_us\": " << ToMicroseconds(nr.finished_at)
+       << ",\n      \"time_us\": {";
+    for (size_t c = 0; c < kNumTimeCategories; ++c) {
+      const auto cat = static_cast<TimeCategory>(c);
+      os << (c == 0 ? "" : ", ") << "\"" << TimeCategoryName(cat)
+         << "\": " << ToMicroseconds(nr.breakdown.Get(cat));
+    }
+    os << "},\n      \"metrics\": ";
+    FlattenNode(nr).WriteJson(os, "      ");
+    os << ",\n      \"page_heat\": [";
+    bool first_page = true;
+    for (size_t p = 0; p < nr.page_heat.size(); ++p) {
+      if (nr.page_heat[p] == 0) {
+        continue;
+      }
+      os << (first_page ? "" : ",") << "[" << p << "," << nr.page_heat[p] << "]";
+      first_page = false;
+    }
+    os << "]\n    }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string WriteMetricsFile(const RunReport& report, const std::string& label) {
+  const std::string name = "METRICS_" + label + ".json";
+  std::ofstream out(name);
+  WriteMetricsJson(report, label, out);
+  std::printf("wrote %s\n", name.c_str());
+  return name;
+}
+
+}  // namespace dfil::core

@@ -1,0 +1,42 @@
+// Uniform metrics export: flattens a RunReport — the ad-hoc stats structs (DsmStats,
+// MessageStats, FilamentStats, PacketStats), the time breakdown, per-service message counts,
+// per-page fault heat, and the live MetricsRegistry histograms — into one JSON document that
+// tools/dfil_report (and the CI regression gate) consume.
+//
+// Schema (dfil-metrics-v1):
+//   {
+//     "schema": "dfil-metrics-v1",
+//     "label": "<run label>",
+//     "pcp": "<protocol>", "nodes": N, "completed": 0|1, "makespan_us": ...,
+//     "cluster": {"counters": {...}},                       // cluster-wide totals
+//     "per_node": [
+//       {"node": i,
+//        "time_us": {"work": ..., "filament_exec": ..., ...},  // Figure 10 row
+//        "counters": {"dsm.read_faults": ..., "net.sent.page_request": ..., ...},
+//        "histograms": {"dsm.fault_wait_us": {...}, ...},
+//        "page_heat": [[page, faults], ...]},                // non-zero entries only
+//       ...]
+//   }
+// Counter naming: "<layer>.<counter>" with layers dsm/net/fil/sync/time (DESIGN.md
+// §Observability).
+#ifndef DFIL_CORE_METRICS_IO_H_
+#define DFIL_CORE_METRICS_IO_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/core/cluster.h"
+
+namespace dfil::core {
+
+// Cluster-wide totals used by the CI regression gate, also embedded under "cluster" in the JSON:
+// "dsm.page_request_messages" (single + bulk page requests across all nodes) and
+// "net.barrier_messages" (reduce_up + reduce_done sends across all nodes), among others.
+void WriteMetricsJson(const RunReport& report, const std::string& label, std::ostream& os);
+
+// Writes METRICS_<label>.json into the current directory; returns the file name.
+std::string WriteMetricsFile(const RunReport& report, const std::string& label);
+
+}  // namespace dfil::core
+
+#endif  // DFIL_CORE_METRICS_IO_H_

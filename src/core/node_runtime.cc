@@ -51,10 +51,13 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
       machine_(machine),
       threads_(config.backend, config.stack_bytes),
       env_(this) {
+  tracer_.BindNode(id_, [this] { return CurrentTid(); }, [this] { return clock_; });
   packet_ = std::make_unique<net::PacketEndpoint>(
       machine_, id_, config_.packet,
       [this](TimeCategory c, SimTime t) { Charge(c, t); }, [this] { return clock_; });
   packet_->in_critical_section = [this] { return in_critical_; };
+  packet_->set_tracer(&tracer_);
+  packet_->set_metrics(&metrics_);
 
   dsm::DsmNode::Hooks hooks;
   hooks.charge = [this](TimeCategory c, SimTime t) { Charge(c, t); };
@@ -74,8 +77,17 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   hooks.block_current = [this] { BlockCurrent(); };
   hooks.trace_fault_begin = [this](PageId page) {
     TraceBegin("dsm", "fault p" + std::to_string(page));
+    fault_wait_start_[CurrentTid()] = clock_;
   };
-  hooks.trace_fault_end = [this] { TraceEnd(); };
+  hooks.trace_fault_end = [this] {
+    TraceEnd();
+    auto it = fault_wait_start_.find(CurrentTid());
+    if (it != fault_wait_start_.end()) {
+      metrics_.Hist("dsm.fault_wait_us").Record(ToMicroseconds(clock_ - it->second));
+      fault_wait_start_.erase(it);
+    }
+  };
+  hooks.tracer = &tracer_;
   hooks.fetches_drained = [this] {
     if (drain_waiter_ != nullptr) {
       threads::ServerThread* t = drain_waiter_;
@@ -496,6 +508,7 @@ double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
 
 double NodeRuntime::Reduce(double value, ReduceOp op) {
   DFIL_CHECK(threads_.current() != nullptr);
+  const SimTime entered = clock_;
   TraceBegin("sync", "reduce");
   WaitForFetchDrain();
   // A reduction is a synchronization point: implicit-invalidate drops read-only copies here,
@@ -518,6 +531,8 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
     }
   }
   TraceEnd();
+  metrics_.Inc("sync.reductions");
+  metrics_.Hist("sync.barrier_wait_us").Record(ToMicroseconds(clock_ - entered));
   return result;
 }
 

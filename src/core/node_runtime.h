@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/common/intrusive_list.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/common/types.h"
@@ -98,22 +99,18 @@ class NodeRuntime final : public sim::NodeHost {
   void ExitCritical() { in_critical_ = false; }
 
   // --- Tracing (no-ops unless ClusterConfig::trace_enabled) ---
-  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+  void SetTrace(TraceRecorder* trace) { tracer_.SetRecorder(trace); }
   void TraceBegin(const char* category, std::string name) {
-    if (trace_ != nullptr) {
-      trace_->Begin(id_, CurrentTid(), category, std::move(name), clock_);
-    }
+    tracer_.Begin(category, std::move(name));
   }
-  void TraceEnd() {
-    if (trace_ != nullptr) {
-      trace_->End(id_, CurrentTid(), clock_);
-    }
-  }
+  void TraceEnd() { tracer_.End(); }
   void TraceInstant(const char* category, std::string name) {
-    if (trace_ != nullptr) {
-      trace_->Instant(id_, CurrentTid(), category, std::move(name), clock_);
-    }
+    tracer_.Instant(category, std::move(name));
   }
+  // The node's causal tracer (trace-id context + span emission), shared with packet_ and dsm_.
+  NodeTracer& tracer() { return tracer_; }
+  // Live histograms and runtime counters; flattened with the stats structs by metrics_io.
+  MetricsRegistry& metrics() { return metrics_; }
 
   // --- Accessors ---
   NodeEnv& env() { return env_; }
@@ -192,7 +189,11 @@ class NodeRuntime final : public sim::NodeHost {
     return t != nullptr ? t->id() : 0;
   }
 
-  TraceRecorder* trace_ = nullptr;
+  NodeTracer tracer_;
+  MetricsRegistry metrics_;
+  // Per-thread fault-block start times (faults never nest within one server thread); feeds the
+  // dsm.fault_wait_us histogram.
+  std::map<uint64_t, SimTime> fault_wait_start_;
   TimeBreakdown breakdown_;
   FilamentStats fil_stats_;
 };

@@ -59,9 +59,14 @@ struct BulkRequestBody {
 
 struct BulkReplyHeader {
   NodeId owner_hint;  // the replying node
+  PageId first;       // first page of the requested run (names the flow arc on install)
   uint16_t npages;    // PageBlockHeader + page bytes follow
   uint16_t nmisses;   // then this many PageIds the replier does not own
 };
+
+// Flow-arc name shared by the fault, serve and install sides ("p<page>" / "bulk p<first>").
+std::string FlowName(PageId page) { return "p" + std::to_string(page); }
+std::string BulkFlowName(PageId first) { return "bulk p" + std::to_string(first); }
 
 uint64_t Bit(NodeId n) { return uint64_t{1} << n; }
 
@@ -76,7 +81,8 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
       config_(config),
       hooks_(std::move(hooks)),
       replica_(layout->region_bytes()),
-      table_(layout->num_pages()) {
+      table_(layout->num_pages()),
+      fault_heat_(layout->num_pages()) {
   DFIL_CHECK(layout->sealed());
   DFIL_CHECK_LT(self_, 64) << "copysets are 64-bit masks";
   for (PageId p = 0; p < table_.size(); ++p) {
@@ -157,6 +163,7 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
   } else {
     stats_.write_faults++;
   }
+  fault_heat_[page]++;
   hooks_.charge(TimeCategory::kDataTransfer, costs_->fault_handle);
   DFIL_LOG(kDebug, "dsm") << "node " << self_ << " " << (mode == AccessMode::kRead ? "r" : "w")
                           << "-fault page " << page << " @" << ToMilliseconds(hooks_.clock())
@@ -173,19 +180,28 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
 
   const bool upgrade_as_owner = config_.pcp == Pcp::kWriteInvalidate && e.owner &&
                                 e.state == PageState::kReadOnly && mode == AccessMode::kWrite;
+  bool initiated = false;
   if (upgrade_as_owner && !e.fetching) {
     // We own the page but downgraded to read-only for other readers; invalidate their copies and
     // upgrade in place — no page request needed.
     e.fetching = true;
     e.fetch_mode = AccessMode::kWrite;
     ++pending_fetches_;
+    initiated = true;
+    e.trace_id = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
     const uint64_t targets = e.copyset & ~Bit(self_);
+    TraceContext trace_ctx(hooks_.tracer, e.trace_id);
     StartInvalidations(page, targets);
   } else if (!e.fetching) {
     e.fetching = true;
     e.fetch_mode = mode;
     ++e.fetch_seq;  // a fresh fault; redirect re-sends within it keep the same seq
     ++pending_fetches_;
+    initiated = true;
+    // Allocate the causal trace id for this fetch; the request, every chase hop, the owner's
+    // serve, and the final install all carry it.
+    e.trace_id = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
+    TraceContext trace_ctx(hooks_.tracer, e.trace_id);
     SendPageRequest(page, mode, e.probable_owner);
   }
   // If a fetch is already outstanding (even a weaker read fetch), simply wait: Access() rechecks
@@ -206,6 +222,11 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
   DFIL_CHECK(t != nullptr) << "DSM fault outside a server thread";
   if (hooks_.trace_fault_begin) {
     hooks_.trace_fault_begin(page);
+  }
+  if (initiated && tracer() != nullptr && e.trace_id != 0) {
+    // Opens the flow arc inside the fault span (only the thread that started the fetch; later
+    // waiters join the same fetch without emitting a second 's').
+    tracer()->Flow(kFlowStart, "dsm", FlowName(page), e.trace_id);
   }
   t->set_state(threads::ThreadState::kBlocked);
   t->set_block_reason("page " + std::to_string(page));
@@ -260,6 +281,12 @@ void DsmNode::SendPageRequest(PageId page, AccessMode mode, NodeId target) {
 std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReader body) {
   const auto req = body.Get<RequestBody>();
   PageEntry& e = table_[req.page];
+  // The serve span plus a flow step tie this handler into the faulting node's arc (the packet
+  // layer put the request's trace id in our current context).
+  TraceSpan serve_span(hooks_.tracer, "dsm", "serve p", req.page);
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Flow(kFlowStep, "dsm", FlowName(req.page), tr->current());
+  }
 
   if (e.granted_to == src && e.grant_seq == req.fault_seq && e.state == PageState::kInvalid &&
       !e.owner) {
@@ -287,6 +314,9 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
     // our chase hint may point right back at the requester. Ignore the request; the requester's
     // retransmission retries once our fetch settles (the paper's deferred-servicing pattern).
     stats_.fetch_deferrals++;
+    if (NodeTracer* tr = tracer(); tr != nullptr) {
+      tr->Instant("dsm", "defer_fetch " + FlowName(req.page));
+    }
     return std::nullopt;
   }
 
@@ -299,6 +329,9 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
       // reply and nobody is left owning it. Grant records persist across re-acquisition
       // (FinishFetch keeps them) precisely so this duplicate is recognizable.
       stats_.stale_transfer_dups_ignored++;
+      if (NodeTracer* tr = tracer(); tr != nullptr) {
+        tr->Instant("dsm", "stale_dup " + FlowName(req.page));
+      }
       return std::nullopt;
     }
     if (e.pending_use) {
@@ -308,12 +341,18 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
       // the Mirage window that regresses into a livelock where no writer ever completes an
       // access. Ignore the request; the retransmission arrives after the waiters have run.
       stats_.use_deferrals++;
+      if (NodeTracer* tr = tracer(); tr != nullptr) {
+        tr->Instant("dsm", "defer_use " + FlowName(req.page));
+      }
       return std::nullopt;
     }
     const bool transfers = config_.pcp == Pcp::kMigratory || req.mode == AccessMode::kWrite;
     if (transfers && config_.mirage_window > 0 && hooks_.clock() < e.hold_until) {
       // Mirage hold window: ignore the request; the requester's retransmission will retry.
       stats_.mirage_deferrals++;
+      if (NodeTracer* tr = tracer(); tr != nullptr) {
+        tr->Instant("dsm", "defer_mirage " + FlowName(req.page));
+      }
       return std::nullopt;
     }
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
@@ -383,6 +422,12 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
 
   if (h.status == kReplyRedirect) {
     DFIL_CHECK_NE(h.owner_hint, self_) << "redirected to self for page " << page;
+    // One hop of the probable-owner chase: a step in the fault's flow arc (the redirect reply's
+    // trace id is our current context, so the re-sent request inherits it).
+    TraceSpan chase_span(hooks_.tracer, "dsm", "chase p", page);
+    if (NodeTracer* tr = tracer(); tr != nullptr) {
+      tr->Flow(kFlowStep, "dsm", FlowName(page), tr->current());
+    }
     for (PageId p : layout_->GroupPagesOf(page)) {
       table_[p].probable_owner = h.owner_hint;
     }
@@ -434,6 +479,13 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
 }
 
 void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
+  // The arc terminates here whether the fetch installed or was discarded (a re-fault starts a new
+  // arc with a fresh id).
+  TraceSpan install_span(hooks_.tracer, "dsm",
+                         new_state == PageState::kInvalid ? "discard p" : "install p", page);
+  if (NodeTracer* tr = tracer(); tr != nullptr && table_[page].trace_id != 0) {
+    tr->Flow(kFlowEnd, "dsm", FlowName(page), table_[page].trace_id);
+  }
   DFIL_LOG(kDebug, "dsm") << "node " << self_ << " installs page " << page
                           << (ownership ? " owned" : " copy") << " @"
                           << ToMilliseconds(hooks_.clock()) << "ms waiters="
@@ -446,6 +498,7 @@ void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
     e.fetching = false;
     e.discard_install = false;
     e.pending_invalidate_acks = 0;
+    e.trace_id = 0;
     e.hold_until = hooks_.clock() + config_.mirage_window;
     // The grant record (granted_to/grant_seq/grant_copyset) deliberately survives this fetch:
     // a delayed duplicate of the transfer request the grant answered can still arrive after we
@@ -511,6 +564,10 @@ void DsmNode::Prefetch(PageId first, int count, AccessMode mode) {
   if (first >= clamped_end) {
     return;
   }
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Instant("dsm", "prefetch p" + std::to_string(first) + "+" +
+                           std::to_string(clamped_end - first));
+  }
   StartBulkFetch(first, static_cast<int>(clamped_end - first));
 }
 
@@ -551,6 +608,13 @@ void DsmNode::SendBulkRequest(PageId first, uint16_t count, NodeId target) {
   DFIL_CHECK_NE(target, self_);
   stats_.bulk_requests++;
   stats_.bulk_pages_requested += count;
+  // Each bulk run gets its own arc: 's' here, 't' in the remote serve, 'f' at install.
+  const uint64_t flow = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
+  TraceSpan span(hooks_.tracer, "dsm", "bulk_req p", first);
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Flow(kFlowStart, "dsm", BulkFlowName(first), flow);
+  }
+  TraceContext trace_ctx(hooks_.tracer, flow);
   net::WireWriter w;
   w.Put(BulkRequestBody{first, count, AccessMode::kRead});
   packet_->SendRequest(
@@ -561,6 +625,10 @@ void DsmNode::SendBulkRequest(PageId first, uint16_t count, NodeId target) {
 
 std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReader body) {
   const auto req = body.Get<BulkRequestBody>();
+  TraceSpan serve_span(hooks_.tracer, "dsm", "bulk_serve p", req.first);
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Flow(kFlowStep, "dsm", BulkFlowName(req.first), tr->current());
+  }
   // Served idempotently from current state, like single-page replies: pages this node owns ship
   // as read-only copies, everything else is reported back as a miss for the requester to re-fault
   // through the owner-forwarding directory. Never defers and never transfers ownership, so
@@ -583,7 +651,7 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
     stats_.bulk_pages_served += hits.size();
   }
   net::WireWriter w;
-  w.Put(BulkReplyHeader{self_, static_cast<uint16_t>(hits.size()),
+  w.Put(BulkReplyHeader{self_, req.first, static_cast<uint16_t>(hits.size()),
                         static_cast<uint16_t>(misses.size())});
   const size_t ps = layout_->page_size();
   for (PageId p : hits) {
@@ -605,6 +673,14 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
 void DsmNode::OnBulkReply(net::Payload reply) {
   net::WireReader r(reply);
   const auto h = r.Get<BulkReplyHeader>();
+  TraceSpan install_span(hooks_.tracer, "dsm", "bulk_install p", h.first);
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Flow(kFlowEnd, "dsm", BulkFlowName(h.first), tr->current());
+    if (h.nmisses > 0) {
+      tr->Instant("dsm", "bulk_miss p" + std::to_string(h.first) + " x" +
+                             std::to_string(h.nmisses));
+    }
+  }
   const size_t ps = layout_->page_size();
   for (uint16_t i = 0; i < h.npages; ++i) {
     const auto block = r.Get<PageBlockHeader>();
@@ -679,6 +755,10 @@ bool DsmNode::ConsumePrefetchWasted(PageId page) {
 std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader body) {
   (void)src;
   const auto page = body.Get<PageId>();
+  TraceSpan inval_span(hooks_.tracer, "dsm", "inval p", page);
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->Flow(kFlowStep, "dsm", FlowName(page), tr->current());
+  }
   hooks_.charge(TimeCategory::kDataTransfer, costs_->invalidate_handle);
   stats_.invalidations_received++;
   for (PageId p : layout_->GroupPagesOf(page)) {

@@ -34,6 +34,7 @@
 
 #include "src/common/intrusive_list.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/dsm/layout.h"
 #include "src/net/packet.h"
@@ -44,6 +45,19 @@ namespace dfil::dsm {
 class CoherenceOracle;
 
 enum class Pcp : uint8_t { kMigratory, kWriteInvalidate, kImplicitInvalidate };
+
+// Stable protocol name used in metrics JSON and report tables.
+constexpr const char* PcpName(Pcp pcp) {
+  switch (pcp) {
+    case Pcp::kMigratory:
+      return "migratory";
+    case Pcp::kWriteInvalidate:
+      return "write_invalidate";
+    case Pcp::kImplicitInvalidate:
+      return "implicit_invalidate";
+  }
+  return "unknown";
+}
 
 enum class AccessMode : uint8_t { kRead = 0, kWrite = 1 };
 
@@ -85,6 +99,7 @@ struct PageEntry {
   bool pending_use = false;        // installed for blocked faulters that have not yet run (defer serves)
   bool prefetched_unused = false;  // installed by a prefetch and not yet touched by any access
   bool prefetch_wasted = false;    // sticky: the last prefetched copy died untouched (hint pruning)
+  uint64_t trace_id = 0;           // causal trace id of the in-flight fetch (0 = none)
   IntrusiveList<threads::ServerThread, &threads::ServerThread::queue_link> waiters;
 };
 
@@ -111,6 +126,9 @@ class DsmNode {
     // Optional tracing of the blocked interval of a fault (from suspension to wake-up).
     std::function<void(PageId)> trace_fault_begin;
     std::function<void()> trace_fault_end;
+    // Optional causal tracer (spans, flow arcs, trace-id allocation). May be null; trace ids then
+    // stay 0 and all instrumentation is skipped.
+    NodeTracer* tracer = nullptr;
   };
 
   DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* packet,
@@ -171,6 +189,9 @@ class DsmNode {
   void AttachOracle(CoherenceOracle* oracle);
 
   const PageEntry& page(PageId p) const { return table_[p]; }
+  // Demand faults taken per page on this node (prefetches excluded) — the report's "hottest
+  // pages" table.
+  const std::vector<uint32_t>& fault_heat() const { return fault_heat_; }
   const DsmStats& stats() const { return stats_; }
   DsmStats& mutable_stats() { return stats_; }
   const GlobalLayout& layout() const { return *layout_; }
@@ -246,8 +267,14 @@ class DsmNode {
   const sim::CostModel* costs_;
   DsmConfig config_;
   Hooks hooks_;
+  // hooks_.tracer when it can record, nullptr otherwise (so hot paths skip name building).
+  NodeTracer* tracer() const {
+    return hooks_.tracer != nullptr && hooks_.tracer->enabled() ? hooks_.tracer : nullptr;
+  }
+
   std::vector<std::byte> replica_;
   std::vector<PageEntry> table_;
+  std::vector<uint32_t> fault_heat_;
   int pending_fetches_ = 0;
   DsmStats stats_;
   CoherenceOracle* oracle_ = nullptr;

@@ -7,6 +7,36 @@
 
 namespace dfil::net {
 
+const char* ServiceName(Service service) {
+  switch (service) {
+    case Service::kPageRequest:
+      return "page_request";
+    case Service::kInvalidate:
+      return "invalidate";
+    case Service::kBulkPageRequest:
+      return "bulk_page_request";
+    case Service::kReduceUp:
+      return "reduce_up";
+    case Service::kReduceDone:
+      return "reduce_done";
+    case Service::kForkShip:
+      return "fork_ship";
+    case Service::kJoinResult:
+      return "join_result";
+    case Service::kStealWork:
+      return "steal_work";
+    case Service::kTerminate:
+      return "terminate";
+    case Service::kAppData:
+      return "app_data";
+    case Service::kTestEcho:
+      return "test_echo";
+    case Service::kTestMutate:
+      return "test_mutate";
+  }
+  return "unknown";
+}
+
 PacketEndpoint::PacketEndpoint(sim::Machine* machine, NodeId self, PacketConfig config,
                                ChargeFn charge, ClockFn clock)
     : machine_(machine),
@@ -38,7 +68,7 @@ void PacketEndpoint::RegisterRawHandler(Service service, RawFn fn, TimeCategory 
 }
 
 void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id,
-                              const Payload& body, TimeCategory charge_as) {
+                              const Payload& body, TimeCategory charge_as, uint64_t trace) {
   // Kind and sim::MsgClass share the wire numbering so fault rules can filter on the class.
   static_assert(static_cast<uint8_t>(Kind::kRequest) ==
                 static_cast<uint8_t>(sim::MsgClass::kRequest));
@@ -46,14 +76,16 @@ void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t r
   static_assert(static_cast<uint8_t>(Kind::kRaw) == static_cast<uint8_t>(sim::MsgClass::kRaw));
   static_assert(static_cast<uint8_t>(Kind::kAck) == static_cast<uint8_t>(sim::MsgClass::kAck));
   charge_(charge_as, machine_->costs().msg_send_overhead);
+  sent_by_service_[static_cast<uint16_t>(service)]++;
   WireWriter w;
-  w.Put(Header{kind, static_cast<uint16_t>(service), req_id});
+  w.Put(Header{kind, static_cast<uint16_t>(service), req_id, trace});
   w.PutBytes(body.data(), body.size());
   sim::Datagram d;
   d.src = self_;
   d.dst = dst;
   d.type = static_cast<uint32_t>(service);
   d.klass = static_cast<sim::MsgClass>(kind);
+  d.trace = trace;
   d.payload = w.Take();
   machine_->Send(std::move(d), clock_());
 }
@@ -70,8 +102,14 @@ uint64_t PacketEndpoint::SendRequest(NodeId dst, Service service, Payload body, 
   out.timeout = config_.retransmit_timeout;
   out.attempts = 1;
   out.charge_as = charge_as;
+  out.trace = CurTrace();
   stats_.requests_sent++;
-  Transmit(dst, Kind::kRequest, service, req_id, body, charge_as);
+  if (metrics_ != nullptr) {
+    // Depth of the outstanding-request pipeline including this one: how many replies this node is
+    // waiting on whenever it issues a request (a proxy for remote serve-queue pressure).
+    metrics_->Hist("net.serve_queue_depth").Record(static_cast<double>(outstanding_.size() + 1));
+  }
+  Transmit(dst, Kind::kRequest, service, req_id, body, charge_as, out.trace);
   outstanding_.emplace(req_id, std::move(out));
   ArmTimer(req_id);
   return req_id;
@@ -101,7 +139,11 @@ void PacketEndpoint::OnTimeout(uint64_t req_id) {
   out.attempts++;
   stats_.retransmissions++;
   machine_->net_stats().retransmissions++;
-  Transmit(out.dst, Kind::kRequest, out.service, req_id, out.body, out.charge_as);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("net", std::string("retx ") + ServiceName(out.service) + " -> n" +
+                                std::to_string(out.dst));
+  }
+  Transmit(out.dst, Kind::kRequest, out.service, req_id, out.body, out.charge_as, out.trace);
   // Exponential backoff, capped.
   out.timeout = std::min<SimTime>(out.timeout * 2, config_.retransmit_timeout_max);
   ArmTimer(req_id);
@@ -109,20 +151,23 @@ void PacketEndpoint::OnTimeout(uint64_t req_id) {
 
 void PacketEndpoint::SendRaw(NodeId dst, Service service, Payload body, TimeCategory charge_as) {
   stats_.raw_sent++;
-  Transmit(dst, Kind::kRaw, service, 0, body, charge_as);
+  Transmit(dst, Kind::kRaw, service, 0, body, charge_as, CurTrace());
 }
 
 void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory charge_as) {
   stats_.raw_sent++;
   charge_(charge_as, machine_->costs().msg_send_overhead);
+  sent_by_service_[static_cast<uint16_t>(service)]++;
+  const uint64_t trace = CurTrace();
   WireWriter w;
-  w.Put(Header{Kind::kRaw, static_cast<uint16_t>(service), 0});
+  w.Put(Header{Kind::kRaw, static_cast<uint16_t>(service), 0, trace});
   w.PutBytes(body.data(), body.size());
   sim::Datagram d;
   d.src = self_;
   d.dst = sim::kBroadcastDst;
   d.type = static_cast<uint32_t>(service);
   d.klass = sim::MsgClass::kRaw;
+  d.trace = trace;
   d.payload = w.Take();
   machine_->Broadcast(std::move(d), clock_());
 }
@@ -131,6 +176,9 @@ void PacketEndpoint::OnDatagram(sim::Datagram d) {
   WireReader r(d.payload);
   const Header h = r.Get<Header>();
   Payload body(r.Rest().begin(), r.Rest().end());
+  // Handlers run under the incoming message's causal trace id, so every nested send — the reply,
+  // a redirect chase, an invalidation round — inherits the originating fault's id.
+  TraceContext trace_ctx(tracer_, h.trace);
   switch (h.kind) {
     case Kind::kRequest: {
       auto it = services_.find(h.service);
@@ -187,7 +235,7 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
       stats_.duplicate_requests++;
       stats_.replies_sent++;
       Transmit(src, Kind::kReply, service, req_id, cached->second.body,
-               TimeCategory::kSyncOverhead);
+               TimeCategory::kSyncOverhead, CurTrace());
       return;
     }
   }
@@ -237,7 +285,7 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
   if (config_.ack_replies) {
     SendReplyBuffered(src, service, req_id, std::move(*reply));
   } else {
-    Transmit(src, Kind::kReply, service, req_id, *reply, TimeCategory::kSyncOverhead);
+    Transmit(src, Kind::kReply, service, req_id, *reply, TimeCategory::kSyncOverhead, CurTrace());
   }
 }
 
@@ -246,7 +294,8 @@ void PacketEndpoint::HandleReply(NodeId src, uint64_t req_id, Payload body) {
     // TCP-like mode: explicitly acknowledge every reply (duplicates included, or the replier
     // would retransmit its buffered copy forever).
     stats_.acks_sent++;
-    Transmit(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead);
+    Transmit(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead,
+             CurTrace());
   }
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) {
@@ -263,11 +312,12 @@ void PacketEndpoint::HandleReply(NodeId src, uint64_t req_id, Payload body) {
 
 void PacketEndpoint::SendReplyBuffered(NodeId dst, Service service, uint64_t req_id,
                                        Payload body) {
-  Transmit(dst, Kind::kReply, service, req_id, body, TimeCategory::kSyncOverhead);
+  Transmit(dst, Kind::kReply, service, req_id, body, TimeCategory::kSyncOverhead, CurTrace());
   PendingReply rep;
   rep.dst = dst;
   rep.service = service;
   rep.body = std::move(body);
+  rep.trace = CurTrace();
   rep.timer = machine_->ScheduleTimer(self_, clock_() + config_.retransmit_timeout,
                                       [this, dst, req_id] { OnReplyTimeout(dst, req_id); });
   pending_replies_[{dst, req_id}] = std::move(rep);
@@ -283,7 +333,8 @@ void PacketEndpoint::OnReplyTimeout(NodeId dst, uint64_t req_id) {
   rep.attempts++;
   stats_.reply_retransmissions++;
   charge_(TimeCategory::kSyncOverhead, machine_->costs().timer_overhead);
-  Transmit(rep.dst, Kind::kReply, rep.service, req_id, rep.body, TimeCategory::kSyncOverhead);
+  Transmit(rep.dst, Kind::kReply, rep.service, req_id, rep.body, TimeCategory::kSyncOverhead,
+           rep.trace);
   rep.timer = machine_->ScheduleTimer(self_, clock_() + config_.retransmit_timeout,
                                       [this, dst, req_id] { OnReplyTimeout(dst, req_id); });
 }

@@ -26,7 +26,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/net/wire.h"
 #include "src/sim/machine.h"
@@ -53,6 +55,9 @@ enum class Service : uint16_t {
   kTestEcho = 100,
   kTestMutate = 101,
 };
+
+// Human-readable service name for traces and metric keys ("page_request", "reduce_up", ...).
+const char* ServiceName(Service service);
 
 struct PacketConfig {
   SimTime retransmit_timeout = Milliseconds(100.0);  // >> quiet RTT and transient reply queueing
@@ -137,6 +142,18 @@ class PacketEndpoint {
   const PacketStats& stats() const { return stats_; }
   PacketConfig& config() { return config_; }
 
+  // Observability wiring (optional; set by the runtime after construction). The tracer supplies
+  // the causal trace id stamped on every outgoing packet — requests carry the sender's current
+  // context, replies/acks echo the request's id, retransmissions re-stamp the original — and
+  // incoming handlers run under the message's id so nested sends inherit it. The metrics registry
+  // receives the per-service send counters and the outstanding-pipeline-depth histogram.
+  void set_tracer(NodeTracer* tracer) { tracer_ = tracer; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Messages transmitted per service (requests, replies, raws and acks combined), for the
+  // Figure 9 message-count table.
+  const std::map<uint16_t, uint64_t>& sent_by_service() const { return sent_by_service_; }
+
  private:
   enum class Kind : uint8_t { kRequest = 1, kReply = 2, kRaw = 3, kAck = 4 };
 
@@ -144,6 +161,7 @@ class PacketEndpoint {
     Kind kind;
     uint16_t service;
     uint64_t req_id;
+    uint64_t trace;  // causal trace id; 0 = no context
   };
 
   struct Outstanding {
@@ -155,6 +173,7 @@ class PacketEndpoint {
     SimTime timeout;
     int attempts;
     TimeCategory charge_as;
+    uint64_t trace = 0;  // re-stamped on retransmissions
   };
 
   struct ServiceEntry {
@@ -174,7 +193,9 @@ class PacketEndpoint {
   };
 
   void Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id, const Payload& body,
-                TimeCategory charge_as);
+                TimeCategory charge_as, uint64_t trace);
+  // The node's current causal trace id (0 when no tracer is wired).
+  uint64_t CurTrace() const { return tracer_ != nullptr ? tracer_->current() : 0; }
   void ArmTimer(uint64_t req_id);
   void OnTimeout(uint64_t req_id);
   void HandleRequest(NodeId src, uint64_t req_id, Service service, Payload body);
@@ -189,6 +210,9 @@ class PacketEndpoint {
   ChargeFn charge_;
   ClockFn clock_;
   PacketStats stats_;
+  NodeTracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::map<uint16_t, uint64_t> sent_by_service_;
 
   uint64_t next_req_id_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
@@ -202,6 +226,7 @@ class PacketEndpoint {
     Payload body;
     sim::EventHandle timer;
     int attempts = 1;
+    uint64_t trace = 0;
   };
   std::map<std::pair<NodeId, uint64_t>, PendingReply> pending_replies_;
 

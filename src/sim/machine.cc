@@ -23,6 +23,38 @@ void Machine::Deliver(NodeId dst, Datagram d, SimTime at) {
   }).Release();
 }
 
+namespace {
+
+const char* MsgClassName(MsgClass klass) {
+  switch (klass) {
+    case MsgClass::kRequest:
+      return "request";
+    case MsgClass::kReply:
+      return "reply";
+    case MsgClass::kRaw:
+      return "raw";
+    case MsgClass::kAck:
+      return "ack";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+void Machine::InjectionInstant(const Datagram& d, const char* what, SimTime at) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  std::ostringstream os;
+  os << what << " " << MsgClassName(d.klass) << " svc" << d.type << " n" << d.src << "->n"
+     << d.dst;
+  if (d.trace != 0) {
+    os << " #" << d.trace;
+  }
+  trace_->Instant(d.dst, kInjectionTid, "inject", os.str(), at);
+}
+
 void Machine::InjectAndDeliver(Datagram d, SimTime at) {
   if (!injector_.enabled()) {
     Deliver(d.dst, std::move(d), at);
@@ -35,12 +67,17 @@ void Machine::InjectAndDeliver(Datagram d, SimTime at) {
   }
   if (dec.drop) {
     net_stats_.messages_dropped++;
+    InjectionInstant(d, "drop", at);
     DFIL_LOG(kDebug, "net") << "drop " << d.src << "->" << d.dst << " type=" << d.type
                             << " class=" << static_cast<int>(d.klass);
   } else {
     const SimTime t = injector_.AdjustForStall(d.dst, at + dec.extra_delay);
+    if (dec.extra_delay > 0) {
+      InjectionInstant(d, "delay", at + dec.extra_delay);
+    }
     if (t != at + dec.extra_delay) {
       net_stats_.stall_deferrals++;
+      InjectionInstant(d, "stall", t);
     }
     Deliver(d.dst, std::move(d), t);
   }
@@ -50,7 +87,9 @@ void Machine::InjectAndDeliver(Datagram d, SimTime at) {
     const SimTime t = injector_.AdjustForStall(dups[i].dst, base);
     if (t != base) {
       net_stats_.stall_deferrals++;
+      InjectionInstant(dups[i], "stall", t);
     }
+    InjectionInstant(dups[i], "dup", t);
     DFIL_LOG(kDebug, "net") << "dup " << dups[i].src << "->" << dups[i].dst
                             << " type=" << dups[i].type << " at+" << ToMilliseconds(t - at)
                             << "ms";

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
@@ -35,6 +36,9 @@ struct Datagram {
   NodeId dst = kNoNode;
   uint32_t type = 0;
   MsgClass klass = MsgClass::kUnknown;
+  // Causal trace id stamped by the Packet layer (0 = none); lets fault-injection instants name
+  // the flow they perturbed.
+  uint64_t trace = 0;
   std::vector<std::byte> payload;
 };
 
@@ -98,6 +102,14 @@ class Machine {
 
   const FaultInjector& injector() const { return injector_; }
 
+  // Optional: when set, every fault-injection decision (drop/dup/delay/stall) emits a trace
+  // instant on the victim node's injection track, so injected faults are visible in the same
+  // Perfetto timeline they perturb. May be null (tracing off).
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Dedicated tid for injection instants (keeps them off the server-thread span tracks).
+  static constexpr uint64_t kInjectionTid = 1000000;
+
   // Hands a datagram to the network at time `ready` (normally the sender's current clock, after
   // it charged send overhead). Lost datagrams count in net_stats but are never delivered.
   void Send(Datagram d, SimTime ready);
@@ -143,9 +155,13 @@ class Machine {
   void Deliver(NodeId dst, Datagram d, SimTime at);
   std::string BuildDeadlockReport() const;
 
+  // Emits an injection instant on (node, kInjectionTid) at `at` when tracing is on.
+  void InjectionInstant(const Datagram& d, const char* what, SimTime at);
+
   std::unique_ptr<NetworkModel> network_;
   CostModel costs_;
   FaultInjector injector_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<NodeHost*> hosts_;
   EventQueue events_;
   MessageStats net_stats_;

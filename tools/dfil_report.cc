@@ -1,0 +1,168 @@
+// dfil_report: analysis CLI over the runtime's observability artifacts.
+//
+//   dfil_report report METRICS_*.json        full report: Figure 10 per run, Figure 9 across
+//                                            runs, fault latency, hottest pages
+//   dfil_report figure10 METRICS.json...     per-node time breakdown only
+//   dfil_report figure9 METRICS.json...      message counts per protocol only
+//   dfil_report hot [--top N] METRICS.json   hottest pages
+//   dfil_report check-trace TRACE.json...    trace validity (exit 1 when malformed)
+//   dfil_report paths [--top N] TRACE.json   longest fault critical paths
+//   dfil_report gate BASELINE.json METRICS_*.json
+//   dfil_report --gate BASELINE.json METRICS_*.json
+//                                            counter-regression gate (exit 1 on drift)
+//
+// Metrics files come from bench runs (dfil-metrics-v1, see src/core/metrics_io.h); trace files
+// are Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/report_lib.h"
+
+namespace {
+
+using dfil::report::CheckChromeTrace;
+using dfil::report::CheckGate;
+using dfil::report::ExtractFlows;
+using dfil::report::GateResult;
+using dfil::report::LoadRun;
+using dfil::report::RunSummary;
+using dfil::report::TraceCheck;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dfil_report <command> [--top N] <files...>\n"
+               "  report      METRICS_*.json   Figure 10 + Figure 9 + latency + hottest pages\n"
+               "  figure10    METRICS_*.json   per-node time breakdown\n"
+               "  figure9     METRICS_*.json   message counts per protocol\n"
+               "  hot         METRICS_*.json   hottest pages\n"
+               "  check-trace TRACE.json...    trace validity check\n"
+               "  paths       TRACE.json...    longest fault critical paths\n"
+               "  gate BASELINE.json METRICS_*.json   counter-regression gate\n");
+  return 2;
+}
+
+bool LoadRuns(const std::vector<std::string>& paths, std::vector<RunSummary>* runs) {
+  for (const std::string& path : paths) {
+    RunSummary run;
+    std::string error;
+    if (!LoadRun(path, &run, &error)) {
+      std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+      return false;
+    }
+    runs->push_back(std::move(run));
+  }
+  return true;
+}
+
+int CmdMetrics(const std::string& cmd, const std::vector<std::string>& paths, size_t top_n) {
+  std::vector<RunSummary> runs;
+  if (paths.empty() || !LoadRuns(paths, &runs)) {
+    return paths.empty() ? Usage() : 1;
+  }
+  const bool all = cmd == "report";
+  for (const RunSummary& run : runs) {
+    if (all || cmd == "figure10") {
+      PrintFigure10(run, std::cout);
+      std::cout << "\n";
+    }
+    if (all) {
+      PrintFaultLatency(run, std::cout);
+    }
+    if (all || cmd == "hot") {
+      PrintHotPages(run, top_n, std::cout);
+      std::cout << "\n";
+    }
+  }
+  if (all || cmd == "figure9") {
+    PrintFigure9(runs, std::cout);
+  }
+  return 0;
+}
+
+int CmdTrace(const std::string& cmd, const std::vector<std::string>& paths, size_t top_n) {
+  if (paths.empty()) {
+    return Usage();
+  }
+  bool ok = true;
+  for (const std::string& path : paths) {
+    std::string text;
+    std::string error;
+    if (!dfil::report::ReadFile(path, &text, &error)) {
+      std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+      return 1;
+    }
+    if (cmd == "check-trace") {
+      TraceCheck check = CheckChromeTrace(text);
+      std::printf("%s: %zu events, %zu spans, %zu/%zu flows complete — %s\n", path.c_str(),
+                  check.events, check.spans, check.complete_flows, check.flow_starts,
+                  check.ok ? "OK" : "MALFORMED");
+      for (const std::string& err : check.errors) {
+        std::printf("  %s\n", err.c_str());
+      }
+      ok = ok && check.ok;
+    } else {
+      std::cout << path << ":\n";
+      PrintCriticalPaths(ExtractFlows(text), top_n, std::cout);
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+int CmdGate(const std::vector<std::string>& paths) {
+  if (paths.size() < 2) {
+    return Usage();
+  }
+  std::string baseline_text;
+  std::string error;
+  if (!dfil::report::ReadFile(paths[0], &baseline_text, &error)) {
+    std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<RunSummary> runs;
+  if (!LoadRuns({paths.begin() + 1, paths.end()}, &runs)) {
+    return 1;
+  }
+  GateResult gate = CheckGate(baseline_text, runs, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+  }
+  for (const std::string& line : gate.lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("gate: %s\n", gate.ok ? "PASS" : "FAIL");
+  return gate.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "--gate") {
+    cmd = "gate";
+  }
+  size_t top_n = 10;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<size_t>(std::stoul(argv[++i]));
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (cmd == "report" || cmd == "figure10" || cmd == "figure9" || cmd == "hot") {
+    return CmdMetrics(cmd, paths, top_n);
+  }
+  if (cmd == "check-trace" || cmd == "paths") {
+    return CmdTrace(cmd, paths, top_n);
+  }
+  if (cmd == "gate") {
+    return CmdGate(paths);
+  }
+  return Usage();
+}

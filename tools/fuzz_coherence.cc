@@ -5,6 +5,9 @@
 //   dfil_fuzz --seeds 512              # wider sweep (the fuzz_nightly target)
 //   dfil_fuzz --scenario reorder --seed 17          # replay one case
 //   dfil_fuzz --scenario reorder --seed 17 --log    # ... with kDebug packet logging
+//   dfil_fuzz --scenario reorder --seed 17 --trace out.json
+//                                      # ... writing a Chrome trace of the faulted run
+//                                      # (--trace with no path: dfil_fuzz_trace.json)
 //   dfil_fuzz --list                   # print scenario names
 //
 // Exit status is the number of failing cases (capped at 125), so CI can gate on it directly.
@@ -12,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/apps/fuzz_driver.h"
@@ -20,7 +24,9 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seeds N] [--scenario NAME [--seed S] [--log]] [--list]\n", argv0);
+               "usage: %s [--seeds N] [--scenario NAME [--seed S] [--log] [--trace [PATH]]] "
+               "[--list]\n",
+               argv0);
   return 2;
 }
 
@@ -32,6 +38,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool have_seed = false;
   bool log_packets = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,13 +62,23 @@ int main(int argc, char** argv) {
       have_seed = true;
     } else if (arg == "--log") {
       log_packets = true;
+    } else if (arg == "--trace") {
+      // Optional path operand; bare --trace (or --trace followed by another flag) uses the
+      // default file name.
+      trace_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i] : "dfil_fuzz_trace.json";
     } else {
       return Usage(argv[0]);
     }
   }
 
+  if (!trace_path.empty() && !(have_seed && !scenario.empty())) {
+    std::fprintf(stderr, "--trace needs a single replay case (--scenario NAME --seed S)\n");
+    return Usage(argv[0]);
+  }
+
   dfil::apps::FuzzOptions opts;
   opts.log_packets = log_packets;
+  opts.capture_trace = !trace_path.empty();
 
   int failures = 0;
   uint64_t cases = 0;
@@ -101,6 +118,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.dsm.mirage_deferrals),
           static_cast<unsigned long long>(r.dsm.fetch_deferrals),
           static_cast<unsigned long long>(r.dsm.use_deferrals));
+    }
+    if (!trace_path.empty() && r.trace != nullptr) {
+      std::ofstream out(trace_path);
+      r.trace->WriteChromeTrace(out);
+      std::printf("    wrote %s (%zu events) — load in Perfetto / chrome://tracing\n",
+                  trace_path.c_str(), r.trace->event_count());
     }
     if (!r.ok()) {
       ++failures;

@@ -1,0 +1,550 @@
+#include "tools/report_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "src/common/json.h"
+
+namespace dfil::report {
+namespace {
+
+// Figure 10 row order (matches TimeCategoryName; the writer emits all six keys).
+constexpr const char* kTimeCategories[] = {"work",          "filament_exec", "data_transfer",
+                                           "sync_overhead", "sync_delay",    "idle"};
+
+// Figure 9 rows: the protocol-differentiating traffic counters from the paper, plus totals.
+constexpr const char* kFigure9Counters[] = {
+    "dsm.page_request_messages", "net.sent.page_request",  "net.sent.bulk_page_request",
+    "net.sent.invalidate",       "net.barrier_messages",   "net.requests_sent",
+    "net.replies_sent",          "net.acks_sent",          "net.retransmissions",
+    "net.messages_sent",         "net.bytes_sent",
+};
+
+std::string FormatUs(double us) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << us;
+  return os.str();
+}
+
+}  // namespace
+
+void HistSummary::Merge(const HistSummary& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  // Buckets share the power-of-two grid, so merging is summing counts at equal lows.
+  for (const auto& b : other.buckets) {
+    bool merged = false;
+    for (auto& mine : buckets) {
+      if (mine[0] == b[0]) {
+        mine[2] += b[2];
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      buckets.push_back(b);
+    }
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+}
+
+double HistSummary::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(count));
+  double seen = 0.0;
+  for (const auto& b : buckets) {
+    if (seen + b[2] >= rank) {
+      const double frac = b[2] > 0.0 ? (rank - seen) / b[2] : 0.0;
+      const double v = b[0] + frac * (b[1] - b[0]);
+      return std::min(std::max(v, min), max);
+    }
+    seen += b[2];
+  }
+  return max;
+}
+
+uint64_t RunSummary::ClusterCounter(const std::string& name) const {
+  auto it = cluster_counters.find(name);
+  return it == cluster_counters.end() ? 0 : it->second;
+}
+
+HistSummary RunSummary::MergedHistogram(const std::string& name) const {
+  HistSummary merged;
+  for (const Node& n : per_node) {
+    auto it = n.histograms.find(name);
+    if (it != n.histograms.end()) {
+      merged.Merge(it->second);
+    }
+  }
+  return merged;
+}
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+namespace {
+
+void ParseCounters(const json::Value* obj, std::map<std::string, uint64_t>* out) {
+  if (obj == nullptr || !obj->is_object()) {
+    return;
+  }
+  for (const auto& [key, value] : obj->object) {
+    if (value->is_number()) {
+      (*out)[key] = static_cast<uint64_t>(std::llround(value->number));
+    }
+  }
+}
+
+HistSummary ParseHistogram(const json::Value& h) {
+  HistSummary out;
+  out.count = static_cast<uint64_t>(h.GetNumber("count"));
+  out.sum = h.GetNumber("sum");
+  out.min = h.GetNumber("min");
+  out.max = h.GetNumber("max");
+  if (const json::Value* buckets = h.Get("buckets"); buckets != nullptr && buckets->is_array()) {
+    for (const auto& b : buckets->array) {
+      if (b->is_array() && b->array.size() == 3) {
+        out.buckets.push_back(
+            {b->array[0]->number, b->array[1]->number, b->array[2]->number});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
+  json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    *error = "JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    return false;
+  }
+  const json::Value& root = *parsed.value;
+  if (root.GetString("schema") != "dfil-metrics-v1") {
+    *error = "not a dfil-metrics-v1 document (schema=\"" + root.GetString("schema") + "\")";
+    return false;
+  }
+  out->label = root.GetString("label");
+  out->pcp = root.GetString("pcp");
+  out->nodes = static_cast<int>(root.GetNumber("nodes"));
+  out->completed = root.GetNumber("completed") != 0;
+  out->makespan_us = root.GetNumber("makespan_us");
+  out->cluster_counters.clear();
+  out->per_node.clear();
+  if (const json::Value* cluster = root.Get("cluster"); cluster != nullptr) {
+    ParseCounters(cluster->Get("counters"), &out->cluster_counters);
+  }
+  const json::Value* per_node = root.Get("per_node");
+  if (per_node == nullptr || !per_node->is_array()) {
+    *error = "missing per_node array";
+    return false;
+  }
+  for (const auto& n : per_node->array) {
+    RunSummary::Node node;
+    node.node = static_cast<int>(n->GetNumber("node"));
+    node.finished_at_us = n->GetNumber("finished_at_us");
+    if (const json::Value* t = n->Get("time_us"); t != nullptr && t->is_object()) {
+      for (const auto& [key, value] : t->object) {
+        node.time_us[key] = value->number;
+      }
+    }
+    if (const json::Value* m = n->Get("metrics"); m != nullptr) {
+      ParseCounters(m->Get("counters"), &node.counters);
+      if (const json::Value* hists = m->Get("histograms");
+          hists != nullptr && hists->is_object()) {
+        for (const auto& [key, value] : hists->object) {
+          node.histograms[key] = ParseHistogram(*value);
+        }
+      }
+    }
+    if (const json::Value* heat = n->Get("page_heat"); heat != nullptr && heat->is_array()) {
+      for (const auto& pair : heat->array) {
+        if (pair->is_array() && pair->array.size() == 2) {
+          node.page_heat.emplace_back(static_cast<uint64_t>(pair->array[0]->number),
+                                      static_cast<uint64_t>(pair->array[1]->number));
+        }
+      }
+    }
+    out->per_node.push_back(std::move(node));
+  }
+  return true;
+}
+
+bool LoadRun(const std::string& path, RunSummary* out, std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text, error)) {
+    return false;
+  }
+  if (!ParseRun(text, out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  out->path = path;
+  return true;
+}
+
+void PrintFigure10(const RunSummary& run, std::ostream& os) {
+  os << "Figure 10 — per-node time breakdown (us): " << run.label << " (" << run.pcp << ", "
+     << run.nodes << " nodes, makespan " << FormatUs(run.makespan_us) << " us)\n";
+  os << std::setw(5) << "node";
+  for (const char* cat : kTimeCategories) {
+    os << std::setw(15) << cat;
+  }
+  os << std::setw(15) << "total" << "\n";
+  std::map<std::string, double> totals;
+  double grand_total = 0.0;
+  for (const RunSummary::Node& n : run.per_node) {
+    os << std::setw(5) << n.node;
+    double row_total = 0.0;
+    for (const char* cat : kTimeCategories) {
+      auto it = n.time_us.find(cat);
+      const double us = it == n.time_us.end() ? 0.0 : it->second;
+      totals[cat] += us;
+      row_total += us;
+      os << std::setw(15) << FormatUs(us);
+    }
+    grand_total += row_total;
+    os << std::setw(15) << FormatUs(row_total) << "\n";
+  }
+  os << std::setw(5) << "sum";
+  for (const char* cat : kTimeCategories) {
+    os << std::setw(15) << FormatUs(totals[cat]);
+  }
+  os << std::setw(15) << FormatUs(grand_total) << "\n";
+  os << std::setw(5) << "share";
+  for (const char* cat : kTimeCategories) {
+    std::ostringstream pct;
+    pct << std::fixed << std::setprecision(1)
+        << (grand_total > 0.0 ? 100.0 * totals[cat] / grand_total : 0.0) << "%";
+    os << std::setw(15) << pct.str();
+  }
+  os << "\n";
+}
+
+void PrintFigure9(const std::vector<RunSummary>& runs, std::ostream& os) {
+  os << "Figure 9 — message counts by protocol";
+  if (!runs.empty()) {
+    os << " (" << runs.front().nodes << " nodes)";
+  }
+  os << "\n" << std::left << std::setw(28) << "counter" << std::right;
+  for (const RunSummary& run : runs) {
+    os << std::setw(21) << run.pcp;
+  }
+  os << "\n";
+  for (const char* counter : kFigure9Counters) {
+    os << std::left << std::setw(28) << counter << std::right;
+    for (const RunSummary& run : runs) {
+      os << std::setw(21) << run.ClusterCounter(counter);
+    }
+    os << "\n";
+  }
+  for (const char* row : {"fault_wait_us p50", "fault_wait_us p99"}) {
+    const double p = row[std::string(row).size() - 2] == '5' ? 50.0 : 99.0;
+    os << std::left << std::setw(28) << row << std::right;
+    for (const RunSummary& run : runs) {
+      os << std::setw(21) << FormatUs(run.MergedHistogram("dsm.fault_wait_us").Percentile(p));
+    }
+    os << "\n";
+  }
+}
+
+void PrintFaultLatency(const RunSummary& run, std::ostream& os) {
+  const HistSummary h = run.MergedHistogram("dsm.fault_wait_us");
+  os << "Fault latency: " << run.label << " — " << h.count << " remote faults";
+  if (h.count > 0) {
+    os << ", p50 " << FormatUs(h.Percentile(50.0)) << " us, p90 " << FormatUs(h.Percentile(90.0))
+       << " us, p99 " << FormatUs(h.Percentile(99.0)) << " us, max " << FormatUs(h.max) << " us";
+  }
+  os << "\n";
+}
+
+void PrintHotPages(const RunSummary& run, size_t top_n, std::ostream& os) {
+  std::map<uint64_t, uint64_t> heat;  // page -> total demand faults
+  std::map<uint64_t, int> spread;     // page -> nodes that faulted it
+  for (const RunSummary::Node& n : run.per_node) {
+    for (const auto& [page, faults] : n.page_heat) {
+      heat[page] += faults;
+      spread[page]++;
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranked(heat.begin(), heat.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  os << "Hottest pages: " << run.label << " (" << ranked.size() << " pages faulted)\n";
+  os << std::setw(10) << "page" << std::setw(10) << "faults" << std::setw(10) << "nodes" << "\n";
+  for (size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    os << std::setw(10) << ranked[i].first << std::setw(10) << ranked[i].second << std::setw(10)
+       << spread[ranked[i].first] << "\n";
+  }
+}
+
+// ---- Trace analysis ------------------------------------------------------------------------
+
+namespace {
+
+// Accepts a bare event array (what WriteChromeTrace emits) or the {"traceEvents": [...]} wrapper.
+const json::Value* TraceEvents(const json::Value& root) {
+  if (root.is_array()) {
+    return &root;
+  }
+  const json::Value* events = root.Get("traceEvents");
+  return events != nullptr && events->is_array() ? events : nullptr;
+}
+
+}  // namespace
+
+TraceCheck CheckChromeTrace(const std::string& text) {
+  TraceCheck out;
+  constexpr size_t kMaxErrors = 32;
+  auto fail = [&out](std::string msg) {
+    if (out.errors.size() < kMaxErrors) {
+      out.errors.push_back(std::move(msg));
+    }
+  };
+  json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    fail("JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " + parsed.error);
+    return out;
+  }
+  const json::Value* events = TraceEvents(*parsed.value);
+  if (events == nullptr) {
+    fail("no trace event array found");
+    return out;
+  }
+  struct Track {
+    int depth = 0;
+    double last_ts = -1.0;
+  };
+  std::map<std::pair<int64_t, int64_t>, Track> tracks;
+  std::set<uint64_t> flow_start_ids;
+  std::set<uint64_t> flow_end_ids;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const json::Value& e = *events->array[i];
+    out.events++;
+    const std::string ph = e.GetString("ph");
+    const auto pid = static_cast<int64_t>(e.GetNumber("pid", -1));
+    const auto tid = static_cast<int64_t>(e.GetNumber("tid", -1));
+    const double ts = e.GetNumber("ts", -1.0);
+    if (ph.size() != 1) {
+      fail("event " + std::to_string(i) + ": missing/bad ph");
+      continue;
+    }
+    Track& track = tracks[{pid, tid}];
+    switch (ph[0]) {
+      case 'B':
+      case 'E':
+        // Duration events must nest and be time-ordered per (pid, tid) track.
+        if (ts < track.last_ts) {
+          fail("event " + std::to_string(i) + ": ts " + std::to_string(ts) +
+               " goes backwards on track (" + std::to_string(pid) + "," + std::to_string(tid) +
+               ")");
+        }
+        track.last_ts = ts;
+        if (ph[0] == 'B') {
+          if (e.GetString("name").empty()) {
+            fail("event " + std::to_string(i) + ": B without a name");
+          }
+          track.depth++;
+        } else {
+          if (track.depth <= 0) {
+            fail("event " + std::to_string(i) + ": E with no open span on track (" +
+                 std::to_string(pid) + "," + std::to_string(tid) + ")");
+          } else {
+            track.depth--;
+            out.spans++;
+          }
+        }
+        break;
+      case 's':
+      case 't':
+      case 'f': {
+        const auto id = static_cast<uint64_t>(e.GetNumber("id", 0));
+        if (id == 0) {
+          fail("event " + std::to_string(i) + ": flow '" + ph + "' without an id");
+          break;
+        }
+        if (ph[0] == 's') {
+          if (!flow_start_ids.insert(id).second) {
+            fail("event " + std::to_string(i) + ": duplicate flow start id " +
+                 std::to_string(id));
+          }
+          out.flow_starts++;
+        } else if (ph[0] == 'f') {
+          flow_end_ids.insert(id);
+          out.flow_ends++;
+        }
+        break;
+      }
+      case 'i':
+        break;  // instants may sit on dedicated tracks (injection events) at delivery times
+      default:
+        fail("event " + std::to_string(i) + ": unexpected ph '" + ph + "'");
+    }
+  }
+  for (const auto& [key, track] : tracks) {
+    if (track.depth != 0) {
+      fail("track (" + std::to_string(key.first) + "," + std::to_string(key.second) + ") ends with " +
+           std::to_string(track.depth) + " unclosed span(s)");
+    }
+  }
+  // An 'f' without an 's' is fine (a serve observed without the faulting side blocking), but every
+  // started arc must terminate somewhere or Perfetto renders a dangling arrow.
+  for (uint64_t id : flow_start_ids) {
+    if (flow_end_ids.count(id) != 0) {
+      out.complete_flows++;
+    } else {
+      fail("flow id " + std::to_string(id) + " has 's' but no matching 'f'");
+    }
+  }
+  out.ok = out.errors.empty();
+  return out;
+}
+
+std::vector<FlowArc> ExtractFlows(const std::string& text) {
+  std::vector<FlowArc> arcs;
+  json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    return arcs;
+  }
+  const json::Value* events = TraceEvents(*parsed.value);
+  if (events == nullptr) {
+    return arcs;
+  }
+  std::map<uint64_t, FlowArc> by_id;
+  std::set<uint64_t> finished;
+  for (const auto& ep : events->array) {
+    const json::Value& e = *ep;
+    const std::string ph = e.GetString("ph");
+    if (ph != "s" && ph != "t" && ph != "f") {
+      continue;
+    }
+    const auto id = static_cast<uint64_t>(e.GetNumber("id", 0));
+    if (id == 0) {
+      continue;
+    }
+    FlowArc& arc = by_id[id];
+    arc.id = id;
+    if (ph == "s") {
+      arc.name = e.GetString("name");
+      arc.start_ts = e.GetNumber("ts");
+      arc.start_node = static_cast<int>(e.GetNumber("pid", -1));
+    } else if (ph == "t") {
+      arc.steps++;
+    } else {
+      arc.end_ts = e.GetNumber("ts");
+      arc.end_node = static_cast<int>(e.GetNumber("pid", -1));
+      finished.insert(id);
+    }
+  }
+  for (const auto& [id, arc] : by_id) {
+    if (arc.start_node >= 0 && finished.count(id) != 0) {
+      arcs.push_back(arc);
+    }
+  }
+  return arcs;
+}
+
+void PrintCriticalPaths(std::vector<FlowArc> arcs, size_t top_n, std::ostream& os) {
+  std::sort(arcs.begin(), arcs.end(),
+            [](const FlowArc& a, const FlowArc& b) { return a.duration_us() > b.duration_us(); });
+  os << "Longest fault critical paths (" << arcs.size() << " complete flow arcs)\n";
+  os << std::left << std::setw(14) << "flow" << std::right << std::setw(12) << "wait_us"
+     << std::setw(8) << "hops" << std::setw(14) << "path" << std::setw(14) << "start_us" << "\n";
+  for (size_t i = 0; i < arcs.size() && i < top_n; ++i) {
+    const FlowArc& a = arcs[i];
+    os << std::left << std::setw(14) << a.name << std::right << std::setw(12)
+       << FormatUs(a.duration_us()) << std::setw(8) << a.steps << std::setw(14)
+       << ("n" + std::to_string(a.start_node) + "->n" + std::to_string(a.end_node))
+       << std::setw(14) << FormatUs(a.start_ts) << "\n";
+  }
+}
+
+// ---- CI regression gate --------------------------------------------------------------------
+
+GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
+                     std::string* error) {
+  GateResult out;
+  json::ParseResult parsed = json::Parse(baseline_text);
+  if (!parsed.ok()) {
+    *error = "baseline JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    out.ok = false;
+    return out;
+  }
+  const json::Value& root = *parsed.value;
+  if (root.GetString("schema") != "dfil-gate-v1") {
+    *error = "baseline is not a dfil-gate-v1 document";
+    out.ok = false;
+    return out;
+  }
+  const double tolerance = root.GetNumber("tolerance", 0.10);
+  const json::Value* baseline_runs = root.Get("runs");
+  if (baseline_runs == nullptr || !baseline_runs->is_object()) {
+    *error = "baseline has no runs object";
+    out.ok = false;
+    return out;
+  }
+  for (const auto& [label, expectations] : baseline_runs->object) {
+    const RunSummary* run = nullptr;
+    for (const RunSummary& candidate : runs) {
+      if (candidate.label == label) {
+        run = &candidate;
+        break;
+      }
+    }
+    if (run == nullptr) {
+      out.ok = false;
+      out.lines.push_back("FAIL " + label + ": no metrics file with this label was supplied");
+      continue;
+    }
+    for (const auto& [counter, expected_value] : expectations->object) {
+      if (!expected_value->is_number()) {
+        continue;
+      }
+      const double expected = expected_value->number;
+      const auto actual = static_cast<double>(run->ClusterCounter(counter));
+      const double drift = std::abs(actual - expected) / std::max(expected, 1.0);
+      std::ostringstream line;
+      line << (drift > tolerance ? "FAIL " : "ok   ") << label << " " << counter << ": expected "
+           << std::llround(expected) << ", got " << std::llround(actual) << " ("
+           << std::showpos << std::fixed << std::setprecision(1) << 100.0 * (actual - expected) /
+                  std::max(expected, 1.0)
+           << "%, tolerance ±" << std::noshowpos << 100.0 * tolerance << "%)";
+      out.lines.push_back(line.str());
+      if (drift > tolerance) {
+        out.ok = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dfil::report

@@ -1,0 +1,130 @@
+// Analysis library behind tools/dfil_report and the observability tests.
+//
+// Consumes the two JSON artifacts the runtime emits — METRICS_<label>.json (dfil-metrics-v1,
+// src/core/metrics_io.h) and Chrome trace-event files (TraceRecorder::WriteChromeTrace) — and
+// renders the paper's analysis tables:
+//   * Figure 10: per-node stacked time breakdown (work / filament_exec / data_transfer /
+//     sync_overhead / sync_delay / idle).
+//   * Figure 9: message counts per page-consistency protocol, side by side across runs, with
+//     p50/p99 fault latency from the merged per-node histograms.
+//   * Hottest pages (per-page demand-fault heat) and the longest fault critical paths (complete
+//     s->t->f flow arcs reconstructed from the trace).
+// It also hosts the trace-validity checker and the CI counter-regression gate.
+#ifndef DFIL_TOOLS_REPORT_LIB_H_
+#define DFIL_TOOLS_REPORT_LIB_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dfil::report {
+
+// One histogram as exported by MetricsRegistry::WriteJson, buckets included so histograms from
+// different nodes can be merged before computing cluster-wide percentiles.
+struct HistSummary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  // Power-of-two buckets as [low, high, count] triples (empty buckets omitted by the writer).
+  std::vector<std::array<double, 3>> buckets;
+
+  void Merge(const HistSummary& other);
+  // Interpolated percentile over the merged buckets, clamped to [min, max]; 0 when empty.
+  double Percentile(double p) const;
+};
+
+// A parsed dfil-metrics-v1 document.
+struct RunSummary {
+  std::string path;   // file it was loaded from (diagnostics)
+  std::string label;
+  std::string pcp;
+  int nodes = 0;
+  bool completed = false;
+  double makespan_us = 0.0;
+  std::map<std::string, uint64_t> cluster_counters;
+
+  struct Node {
+    int node = 0;
+    double finished_at_us = 0.0;
+    std::map<std::string, double> time_us;            // Figure 10 categories
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistSummary> histograms;
+    std::vector<std::pair<uint64_t, uint64_t>> page_heat;  // (page, demand faults)
+  };
+  std::vector<Node> per_node;
+
+  uint64_t ClusterCounter(const std::string& name) const;
+  // Per-node histograms of `name` merged into one cluster-wide histogram.
+  HistSummary MergedHistogram(const std::string& name) const;
+};
+
+// Parse a metrics document from text / load it from a file. On failure returns false and sets
+// *error; *out is left in an unspecified state.
+bool ParseRun(const std::string& text, RunSummary* out, std::string* error);
+bool LoadRun(const std::string& path, RunSummary* out, std::string* error);
+
+// Reads a whole file; returns false and sets *error when unreadable.
+bool ReadFile(const std::string& path, std::string* out, std::string* error);
+
+// Paper tables.
+void PrintFigure10(const RunSummary& run, std::ostream& os);
+void PrintFigure9(const std::vector<RunSummary>& runs, std::ostream& os);
+void PrintFaultLatency(const RunSummary& run, std::ostream& os);
+void PrintHotPages(const RunSummary& run, size_t top_n, std::ostream& os);
+
+// ---- Trace analysis ------------------------------------------------------------------------
+
+// Structural validity of a Chrome trace-event JSON document (bare array or {"traceEvents": [...]}):
+// every track's B/E events balance with non-decreasing timestamps, and every flow-start id is
+// eventually finished. Errors are capped at a few dozen lines; `ok` reflects the full scan.
+struct TraceCheck {
+  bool ok = false;
+  std::vector<std::string> errors;
+  size_t events = 0;
+  size_t spans = 0;           // completed B/E pairs
+  size_t flow_starts = 0;
+  size_t flow_ends = 0;
+  size_t complete_flows = 0;  // flow ids with both an 's' and an 'f'
+};
+TraceCheck CheckChromeTrace(const std::string& text);
+
+// One reconstructed cross-node flow arc (fault begin on the faulting node through serve/chase
+// steps to the install): the trace-level view of a single remote page fault.
+struct FlowArc {
+  uint64_t id = 0;
+  std::string name;      // "p<page>" / "bulk p<first>"
+  double start_ts = 0.0;  // microseconds
+  double end_ts = 0.0;
+  int start_node = -1;
+  int end_node = -1;
+  size_t steps = 0;  // 't' events in between (serves, chases, invalidation hops)
+
+  double duration_us() const { return end_ts - start_ts; }
+};
+
+// All complete arcs (those with both 's' and 'f'), unsorted.
+std::vector<FlowArc> ExtractFlows(const std::string& text);
+// The top_n longest arcs — the fault critical paths that gate the run.
+void PrintCriticalPaths(std::vector<FlowArc> arcs, size_t top_n, std::ostream& os);
+
+// ---- CI regression gate --------------------------------------------------------------------
+
+// Baseline format (dfil-gate-v1):
+//   {"schema": "dfil-gate-v1", "tolerance": 0.10,
+//    "runs": {"<label>": {"<counter>": <expected>, ...}, ...}}
+// Every baseline run must be matched by a loaded metrics file of the same label, and every listed
+// cluster counter must be within `tolerance` relative drift of its expectation.
+struct GateResult {
+  bool ok = true;
+  std::vector<std::string> lines;  // one human-readable verdict per comparison
+};
+GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
+                     std::string* error);
+
+}  // namespace dfil::report
+
+#endif  // DFIL_TOOLS_REPORT_LIB_H_
