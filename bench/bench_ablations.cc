@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   bench::JsonReport jr("ablations");
 
   // --- 1. Network fabric: shared Ethernet vs switched vs 100 Mb/s (Jacobi DF, 8 nodes) ---
@@ -31,10 +32,11 @@ int main(int argc, char** argv) {
          sim::CostModel::SunIpcFastNetwork()},
     };
     for (const Net& net : nets) {
-      core::ClusterConfig cfg = bench::PaperConfig(8);
+      core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
       cfg.network = net.kind;
       cfg.costs = net.costs;
       cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+      args.Apply(cfg);
       apps::AppRun run = apps::RunJacobiDf(p, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("%-34s %8.2f s (medium busy %.2f s)\n", net.name, run.seconds(),
@@ -58,8 +60,9 @@ int main(int argc, char** argv) {
       q.tolerance = 1e-7;
     }
     for (bool steal : {true, false}) {
-      core::ClusterConfig cfg = bench::PaperConfig(8);
+      core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
       cfg.steal_enabled = steal;
+      args.Apply(cfg);
       apps::AppRun run = apps::RunQuadratureDf(q, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("quadrature (imbalanced), steal %-3s  %8.2f s\n", steal ? "ON" : "OFF",
@@ -88,8 +91,9 @@ int main(int argc, char** argv) {
     apps::QuadratureParams q;
     q.tolerance = quick ? 1e-7 : 1e-8;  // moderate size: pruning effects dominate at small tasks
     for (int threshold : {1, 2, 4, 16, 64}) {
-      core::ClusterConfig cfg = bench::PaperConfig(8);
+      core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
       cfg.prune_threshold = threshold;
+      args.Apply(cfg);
       apps::AppRun run = apps::RunQuadratureDf(q, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       uint64_t pruned = 0, local = 0;
@@ -121,10 +125,11 @@ int main(int argc, char** argv) {
     // push the run into hours of virtual time — itself the ablation's finding; the sweep starts
     // where runs stay tractable.
     for (double window_ms : {2.0, 8.0, 32.0, 128.0}) {
-      core::ClusterConfig cfg = bench::PaperConfig(3);
+      core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(3));
       cfg.dsm.pcp = dsm::Pcp::kWriteInvalidate;
       cfg.dsm.mirage_window = Milliseconds(window_ms);
       cfg.max_virtual_time = Seconds(500000.0);
+      args.Apply(cfg);
       apps::AppRun run = apps::RunJacobiDf(p, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       uint64_t deferrals = 0, faults = 0;

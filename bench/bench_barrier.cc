@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const int barriers = bench::QuickMode(argc, argv) ? 100 : 1000;
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const int barriers = args.quick ? 100 : 1000;
   bench::Header("Figure 8: Barrier synchronization, " + std::to_string(barriers) +
                 " barriers (paper: 1000)");
 
@@ -20,7 +21,12 @@ int main(int argc, char** argv) {
   std::printf("%-6s | %14s | %14s | %10s\n", "nodes", "measured (ms)", "paper (ms)", "messages");
   for (int i = 0; i < 3; ++i) {
     const int nodes = node_counts[i];
-    core::Cluster cluster(bench::PaperConfig(nodes));
+    if (args.nodes > 0 && nodes != args.nodes) {
+      continue;
+    }
+    core::ClusterConfig cfg = bench::PaperConfig(nodes);
+    args.Apply(cfg);
+    core::Cluster cluster(cfg);
     core::RunReport r = cluster.Run([&](core::NodeEnv& env) {
       for (int b = 0; b < barriers; ++b) {
         env.Barrier();
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
     for (int nodes : {2, 4, 8, 16, 32}) {
       core::ClusterConfig cfg = bench::PaperConfig(nodes);
       cfg.barrier = k.kind;
+      args.Apply(cfg);
       core::Cluster cluster(cfg);
       const int reps = barriers / 4;
       core::RunReport r = cluster.Run([&](core::NodeEnv& env) {

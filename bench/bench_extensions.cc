@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   bench::JsonReport jr("extensions");
 
   bench::Header("Extension 1: recursive FFT (fork/join over migratory DSM)");
@@ -21,7 +22,12 @@ int main(int argc, char** argv) {
     std::printf("%d-point FFT, sequential: %.2f s\n", 1 << p.log2_n, seq.seconds());
     std::printf("%-6s | %8s %8s\n", "nodes", "DF(s)", "speedup");
     for (int nodes : {1, 2, 4, 8}) {
-      apps::AppRun df = apps::RunFftDf(p, bench::PaperConfig(nodes));
+      if (args.nodes > 0 && nodes != args.nodes) {
+        continue;
+      }
+      core::ClusterConfig cfg = bench::PaperConfig(nodes);
+      args.Apply(cfg);
+      apps::AppRun df = apps::RunFftDf(p, cfg);
       DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
       DFIL_CHECK_EQ(df.checksum, seq.checksum);
       std::printf("%-6d | %8.2f %8.2f\n", nodes, df.seconds(), seq.seconds() / df.seconds());
@@ -46,8 +52,9 @@ int main(int argc, char** argv) {
     for (int pools : {1, 3, -1}) {
       apps::JacobiParams mp = p;
       mp.pools = pools;
-      core::ClusterConfig cfg = bench::PaperConfig(8);
+      core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
       cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+      args.Apply(cfg);
       apps::AppRun run = apps::RunJacobiDf(mp, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       if (pools == 3) {
@@ -76,8 +83,12 @@ int main(int argc, char** argv) {
                 p.iterations, seq.seconds(), seq.checksum);
     std::printf("%-6s | %8s %8s\n", "nodes", "DF(s)", "speedup");
     for (int nodes : {1, 2, 4, 8}) {
+      if (args.nodes > 0 && nodes != args.nodes) {
+        continue;
+      }
       core::ClusterConfig cfg = bench::PaperConfig(nodes);
       cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+      args.Apply(cfg);
       apps::AppRun df = apps::RunSorDf(p, cfg);
       DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
       DFIL_CHECK_EQ(df.checksum, seq.checksum);

@@ -9,10 +9,10 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   apps::JacobiParams p;
   p.n = 256;
-  p.iterations = quick ? 60 : 360;
+  p.iterations = args.quick ? 60 : 360;
   p.pools = 3;
 
   bench::Header("Figure 5: Jacobi iteration, 256x256, " + std::to_string(p.iterations) +
@@ -29,8 +29,12 @@ int main(int argc, char** argv) {
   std::vector<bench::SpeedupRow> rows;
   for (int i = 0; i < 4; ++i) {
     const int nodes = node_counts[i];
+    if (args.nodes > 0 && nodes != args.nodes) {
+      continue;
+    }
     core::ClusterConfig cfg = bench::PaperConfig(nodes);
     cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+    args.Apply(cfg);
     apps::AppRun cg = apps::RunJacobiCg(p, bench::PaperConfig(nodes));
     apps::AppRun df = apps::RunJacobiDf(p, cfg);
     DFIL_CHECK(cg.report.completed) << cg.report.deadlock_report;

@@ -11,7 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   apps::JacobiParams p;
   p.n = 256;
   p.iterations = quick ? 60 : 360;
@@ -20,8 +21,11 @@ int main(int argc, char** argv) {
   bench::Header("Figure 10: Jacobi overhead breakdown, 8 nodes, 256x256, " +
                 std::to_string(p.iterations) + " iterations");
 
+  // The breakdown's master/interior/tail split hardcodes node indices, so --nodes is ignored here;
+  // protocol/seed/page-size overrides still apply.
   core::ClusterConfig cfg = bench::PaperConfig(8);
   cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  args.Apply(cfg);
   apps::AppRun df = apps::RunJacobiDf(p, cfg);
   DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
 

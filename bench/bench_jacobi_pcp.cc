@@ -11,7 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   apps::JacobiParams base_params;
   base_params.n = 256;
   base_params.iterations = quick ? 60 : 360;
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
     int pools;
     double paper[4];  // 1,2,4,8 nodes
   };
-  const Variant variants[] = {
+  std::vector<Variant> variants = {
       {"implicit-invalidate, 3 pools (Fig 5) ", dsm::Pcp::kImplicitInvalidate, 3,
        {212, 102, 59.8, 38.5}},
       {"write-invalidate,    3 pools (Fig 11)", dsm::Pcp::kWriteInvalidate, 3,
@@ -33,6 +34,11 @@ int main(int argc, char** argv) {
       {"implicit-invalidate, 1 pool  (Fig 12)", dsm::Pcp::kImplicitInvalidate, 1,
        {212, 104, 65.5, 48.5}},
   };
+  // The PCP is the independent variable here, so --pcp replaces the comparison set with the
+  // requested protocol alone (no paper column); the Figure 9 companion runs below stay fixed.
+  if (args.pcp.has_value()) {
+    variants.assign(1, Variant{"--pcp override,      3 pools         ", *args.pcp, 3, {0, 0, 0, 0}});
+  }
   const int node_counts[] = {1, 2, 4, 8};
   const double scale = base_params.iterations / 360.0;
 
@@ -48,13 +54,17 @@ int main(int argc, char** argv) {
     p.pools = v.pools;
     std::printf("%-40s |", v.name);
     for (int i = 0; i < 4; ++i) {
+      if (args.nodes > 0 && node_counts[i] != args.nodes) {
+        continue;
+      }
       core::ClusterConfig cfg = bench::PaperConfig(node_counts[i]);
+      args.Apply(cfg);
       cfg.dsm.pcp = v.pcp;
       apps::AppRun run = apps::RunJacobiDf(p, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf(" %8.1f", run.seconds());
       jr.AddRow()
-          .Set("variant", static_cast<double>(&v - variants))
+          .Set("variant", static_cast<double>(&v - variants.data()))
           .Set("pools", v.pools)
           .Set("pcp", static_cast<double>(v.pcp))
           .Set("nodes", node_counts[i])
@@ -68,18 +78,22 @@ int main(int argc, char** argv) {
         fig12[i] = run.seconds();
       }
     }
-    std::printf("   paper:");
-    for (int i = 0; i < 4; ++i) {
-      std::printf(" %6.1f", v.paper[i] * scale);
+    if (!args.pcp.has_value()) {
+      std::printf("   paper:");
+      for (int i = 0; i < 4; ++i) {
+        std::printf(" %6.1f", v.paper[i] * scale);
+      }
     }
     std::printf("\n");
   }
-  std::printf("\nimplicit-invalidate gain over write-invalidate:   4 nodes %+5.1f%%  8 nodes "
-              "%+5.1f%%   (paper: 3%% and 6%%)\n",
-              100.0 * (fig11[2] - fig5[2]) / fig11[2], 100.0 * (fig11[3] - fig5[3]) / fig11[3]);
-  std::printf("overlap gain (3 pools over 1 pool):               4 nodes %+5.1f%%  8 nodes "
-              "%+5.1f%%   (paper: 9%% and 21%%)\n",
-              100.0 * (fig12[2] - fig5[2]) / fig12[2], 100.0 * (fig12[3] - fig5[3]) / fig12[3]);
+  if (!args.pcp.has_value() && args.nodes == 0) {
+    std::printf("\nimplicit-invalidate gain over write-invalidate:   4 nodes %+5.1f%%  8 nodes "
+                "%+5.1f%%   (paper: 3%% and 6%%)\n",
+                100.0 * (fig11[2] - fig5[2]) / fig11[2], 100.0 * (fig11[3] - fig5[3]) / fig11[3]);
+    std::printf("overlap gain (3 pools over 1 pool):               4 nodes %+5.1f%%  8 nodes "
+                "%+5.1f%%   (paper: 9%% and 21%%)\n",
+                100.0 * (fig12[2] - fig5[2]) / fig12[2], 100.0 * (fig12[3] - fig5[3]) / fig12[3]);
+  }
   jr.Write();
 
   // Figure 9 companion: fixed-size 8-node runs, one per PCP, exported as dfil-metrics-v1 JSON

@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   apps::MatmulParams p;
   p.n = quick ? 128 : 512;
 
@@ -26,8 +27,13 @@ int main(int argc, char** argv) {
   std::vector<bench::SpeedupRow> rows;
   for (int i = 0; i < 4; ++i) {
     const int nodes = node_counts[i];
+    if (args.nodes > 0 && nodes != args.nodes) {
+      continue;
+    }
+    core::ClusterConfig df_cfg = bench::PaperConfig(nodes);
+    args.Apply(df_cfg);
     apps::AppRun cg = apps::RunMatmulCg(p, bench::PaperConfig(nodes));
-    apps::AppRun df = apps::RunMatmulDf(p, bench::PaperConfig(nodes));
+    apps::AppRun df = apps::RunMatmulDf(p, df_cfg);
     DFIL_CHECK(cg.report.completed) << cg.report.deadlock_report;
     DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
     DFIL_CHECK_EQ(cg.checksum, seq.checksum);

@@ -17,7 +17,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   apps::JacobiParams p;
   p.n = 256;
   p.iterations = quick ? 20 : 60;
@@ -49,6 +50,9 @@ int main(int argc, char** argv) {
   for (dsm::Pcp pcp : {dsm::Pcp::kImplicitInvalidate, dsm::Pcp::kWriteInvalidate}) {
     const char* pcp_name = pcp == dsm::Pcp::kImplicitInvalidate ? "implicit-inval" : "write-inval";
     for (int nodes : {2, 4, 8}) {
+      if (args.nodes > 0 && nodes != args.nodes) {
+        continue;
+      }
       double off_msgs = 0, off_time = 0;
       for (const Mode& m : modes) {
         core::ClusterConfig cfg = bench::PaperConfig(nodes);
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
         cfg.page_shift = 10;
         cfg.dsm.prefetch_detector = m.detector;
         cfg.dsm.prefetch_hints = m.hints;
+        args.Apply(cfg);
         apps::AppRun df = apps::RunJacobiDf(p, cfg);
         DFIL_CHECK(df.report.completed) << df.report.deadlock_report;
         DFIL_CHECK_EQ(df.checksum, seq.checksum);

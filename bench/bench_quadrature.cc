@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace dfil;
-  const bool quick = bench::QuickMode(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const bool quick = args.quick;
   apps::QuadratureParams p;
   if (quick) {
     p.tolerance = 1e-7;
@@ -32,9 +33,14 @@ int main(int argc, char** argv) {
               "CG-bag(s)");
   for (int i = 0; i < 4; ++i) {
     const int nodes = node_counts[i];
+    if (args.nodes > 0 && nodes != args.nodes) {
+      continue;
+    }
+    core::ClusterConfig df_cfg = bench::PaperConfig(nodes);
+    args.Apply(df_cfg);
     apps::AppRun cg = apps::RunQuadratureCgStatic(p, bench::PaperConfig(nodes));
     apps::AppRun bag = apps::RunQuadratureCgBag(p, bench::PaperConfig(nodes));
-    apps::AppRun df = apps::RunQuadratureDf(p, bench::PaperConfig(nodes));
+    apps::AppRun df = apps::RunQuadratureDf(p, df_cfg);
     DFIL_CHECK(cg.report.completed) << cg.report.deadlock_report;
     DFIL_CHECK(bag.report.completed) << bag.report.deadlock_report;
     DFIL_CHECK(df.report.completed) << df.report.deadlock_report;

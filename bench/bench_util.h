@@ -8,7 +8,9 @@
 #define DFIL_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +19,93 @@
 #include "src/core/metrics_io.h"
 
 namespace dfil::bench {
+
+// Unified CLI shared by every bench binary:
+//   --quick          smaller problem / iteration counts (gate-pinned runs stay fixed-size)
+//   --nodes=N        override the node count; sweeping benches keep only the matching point
+//   --pcp=NAME       page-consistency protocol: mig|wi|ii|diff (full names accepted too)
+//   --pages=SHIFT    page size as log2 bytes (e.g. 9 = 512 B, 12 = 4 KB)
+//   --seed=N         cluster RNG seed
+//   --metrics        emit METRICS_<label>.json artifacts for runs that skip them by default
+// Unknown --flags abort with the usage text; bare values are ignored (google-benchmark benches
+// pass their own argv through their framework first).
+struct BenchArgs {
+  bool quick = false;
+  bool metrics = false;
+  int nodes = 0;                // 0 = bench default
+  std::optional<dsm::Pcp> pcp;  // unset = bench default
+  int page_shift = 0;           // 0 = bench default
+  uint64_t seed = 0;            // 0 = bench default
+
+  // Layers the explicit overrides onto a config the bench already assembled; bench defaults win
+  // wherever the flag was not given.
+  void Apply(core::ClusterConfig& cfg) const {
+    if (pcp.has_value()) {
+      cfg.dsm.pcp = *pcp;
+    }
+    if (page_shift != 0) {
+      cfg.page_shift = static_cast<size_t>(page_shift);
+    }
+    if (seed != 0) {
+      cfg.seed = seed;
+    }
+  }
+
+  int NodesOr(int fallback) const { return nodes > 0 ? nodes : fallback; }
+};
+
+inline std::optional<dsm::Pcp> ParsePcp(const std::string& name) {
+  if (name == "mig" || name == "migratory") {
+    return dsm::Pcp::kMigratory;
+  }
+  if (name == "wi" || name == "write_invalidate" || name == "write-invalidate") {
+    return dsm::Pcp::kWriteInvalidate;
+  }
+  if (name == "ii" || name == "implicit_invalidate" || name == "implicit-invalidate") {
+    return dsm::Pcp::kImplicitInvalidate;
+  }
+  if (name == "diff") {
+    return dsm::Pcp::kDiff;
+  }
+  return std::nullopt;
+}
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  auto usage = [&](const std::string& bad) {
+    std::fprintf(stderr,
+                 "%s: unrecognized option '%s'\n"
+                 "usage: %s [--quick] [--nodes=N] [--pcp=mig|wi|ii|diff] [--pages=SHIFT]"
+                 " [--seed=N] [--metrics]\n",
+                 argv[0], bad.c_str(), argv[0]);
+    std::exit(2);
+  };
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--quick") {
+      args.quick = true;
+    } else if (key == "--metrics") {
+      args.metrics = true;
+    } else if (key == "--nodes") {
+      args.nodes = std::atoi(value.c_str());
+    } else if (key == "--pcp") {
+      args.pcp = ParsePcp(value);
+      if (!args.pcp.has_value()) {
+        usage(arg);
+      }
+    } else if (key == "--pages") {
+      args.page_shift = std::atoi(value.c_str());
+    } else if (key == "--seed") {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(arg);
+    }
+  }
+  return args;
+}
 
 // Machine-readable bench output: every bench emits BENCH_<name>.json next to its table so result
 // tracking across commits does not depend on scraping stdout. The format is flat on purpose —

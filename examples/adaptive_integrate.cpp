@@ -9,7 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "src/core/cluster.h"
+#include "src/core/dfil.h"
 
 using namespace dfil;
 

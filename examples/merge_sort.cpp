@@ -8,8 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/core/cluster.h"
-#include "src/core/global_array.h"
+#include "src/core/dfil.h"
 
 using namespace dfil;
 

@@ -5,8 +5,7 @@
 // sums the result with a reduction. Run: build/examples/quickstart
 #include <cstdio>
 
-#include "src/core/cluster.h"
-#include "src/core/global_array.h"
+#include "src/core/dfil.h"
 
 using namespace dfil;
 

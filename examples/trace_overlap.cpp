@@ -8,9 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "src/core/cluster.h"
-#include "src/core/global_array.h"
-#include "src/core/parallel.h"
+#include "src/core/dfil.h"
 
 using namespace dfil;
 

@@ -14,9 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "src/core/cluster.h"
-#include "src/core/global_array.h"
-#include "src/core/node_env.h"
+#include "src/core/dfil.h"
 
 namespace dfil::apps {
 

@@ -3,7 +3,6 @@
 #include <cmath>
 #include <cstring>
 
-#include "src/common/check.h"
 
 namespace dfil::apps {
 namespace {

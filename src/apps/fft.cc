@@ -4,7 +4,6 @@
 #include <complex>
 #include <numbers>
 
-#include "src/common/check.h"
 
 namespace dfil::apps {
 namespace {

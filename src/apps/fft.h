@@ -9,7 +9,6 @@
 #define DFIL_APPS_FFT_H_
 
 #include "src/apps/common.h"
-#include "src/core/config.h"
 
 namespace dfil::apps {
 

@@ -6,14 +6,8 @@
 #include "src/apps/jacobi.h"
 #include "src/apps/matmul.h"
 #include "src/apps/sor.h"
-#include "src/common/check.h"
-#include "src/common/log.h"
-#include "src/common/rng.h"
-#include "src/core/cluster.h"
-#include "src/core/config.h"
-#include "src/dsm/coherence_oracle.h"
+#include "src/core/dfil.h"
 #include "src/net/packet.h"
-#include "src/sim/fault_plan.h"
 
 namespace dfil::apps {
 namespace {
@@ -81,6 +75,11 @@ sim::FaultPlan BuildPlan(const std::string& scenario, Rng& rng, int nodes) {
     bulk.drop = 0.1 + 0.2 * rng.NextDouble();
     bulk.duplicate = 0.2 + 0.3 * rng.NextDouble();
     plan.rules.push_back(delay_rule(bulk, 0.2, 1.5));
+    sim::FaultRule merges;
+    merges.type = ServiceNum(net::Service::kDiffMerge);
+    merges.drop = 0.1 + 0.2 * rng.NextDouble();
+    merges.duplicate = 0.2 + 0.3 * rng.NextDouble();
+    plan.rules.push_back(delay_rule(merges, 0.2, 1.5));
   } else if (scenario == "stall") {
     const int count = 1 + static_cast<int>(rng.NextBounded(2));
     for (int i = 0; i < count; ++i) {
@@ -153,14 +152,20 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   cfg.seed = rng.NextU64() | 1;
   cfg.page_shift = 9 + rng.NextBounded(2);  // 512 B / 1 KB pages: small problems still share pages
   static const dsm::Pcp kPcps[] = {dsm::Pcp::kMigratory, dsm::Pcp::kWriteInvalidate,
-                                   dsm::Pcp::kImplicitInvalidate};
-  cfg.dsm.pcp = kPcps[rng.NextBounded(3)];
+                                   dsm::Pcp::kImplicitInvalidate, dsm::Pcp::kDiff};
+  cfg.dsm.pcp = kPcps[rng.NextBounded(4)];
   // Never 0: the Mirage hold window is the progress guarantee when pages ping-pong (dsm_node.h),
   // and the fuzzed problems are small enough that strips genuinely share writable pages.
   static const double kMirageMs[] = {0.5, 2.0};
   cfg.dsm.mirage_window = Milliseconds(kMirageMs[rng.NextBounded(2)]);
   if (cfg.dsm.pcp != dsm::Pcp::kMigratory && rng.NextBernoulli(0.5)) {
     cfg.dsm.prefetch_detector = true;  // exercise the bulk-transfer install path under faults
+  }
+  if (cfg.dsm.pcp == dsm::Pcp::kImplicitInvalidate && rng.NextBernoulli(0.5)) {
+    // Per-page-group adaptation: groups flip between implicit-invalidate and diff mid-run, so
+    // the sweep also covers the transition machinery (mode races self-correct via reply tags).
+    cfg.dsm.adapt_protocols = true;
+    cfg.dsm.adapt_to_diff_threshold = 1 + static_cast<uint32_t>(rng.NextBounded(3));
   }
   cfg.barrier = rng.NextBernoulli(0.5) ? core::ClusterConfig::BarrierKind::kTournamentBroadcast
                                        : core::ClusterConfig::BarrierKind::kCentral;
@@ -221,12 +226,9 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
     DfilSetLogLevel(prior_level);
   }
 
-  desc << " pcp="
-       << (cfg.dsm.pcp == dsm::Pcp::kMigratory
-               ? "mig"
-               : (cfg.dsm.pcp == dsm::Pcp::kWriteInvalidate ? "wi" : "ii"))
-       << " nodes=" << cfg.nodes << " ps=" << cfg.page_shift
-       << (cfg.dsm.prefetch_detector ? " prefetch" : "")
+  desc << " pcp=" << dsm::PcpName(cfg.dsm.pcp) << " nodes=" << cfg.nodes
+       << " ps=" << cfg.page_shift << (cfg.dsm.prefetch_detector ? " prefetch" : "")
+       << (cfg.dsm.adapt_protocols ? " adapt" : "")
        << (cfg.barrier == core::ClusterConfig::BarrierKind::kCentral ? " central" : " tournament");
   result.config_desc = desc.str();
 

@@ -10,7 +10,6 @@
 #define DFIL_APPS_JACOBI_H_
 
 #include "src/apps/common.h"
-#include "src/core/config.h"
 
 namespace dfil::apps {
 

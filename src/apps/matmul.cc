@@ -2,7 +2,6 @@
 
 #include <cstring>
 
-#include "src/common/check.h"
 
 namespace dfil::apps {
 namespace {
@@ -163,8 +162,10 @@ AppRun RunMatmulCg(const MatmulParams& p, const ClusterConfig& base) {
 
 AppRun RunMatmulDf(const MatmulParams& p, const ClusterConfig& base) {
   ClusterConfig cfg = base;
-  if (cfg.dsm.pcp == dsm::Pcp::kImplicitInvalidate) {
+  if (cfg.dsm.pcp == dsm::Pcp::kImplicitInvalidate && !cfg.dsm.adapt_protocols) {
     // The paper uses write-invalidate here; implicit-invalidate would needlessly re-fetch B.
+    // Under protocol adaptation the base must stay implicit-invalidate, and the adapter itself
+    // takes care of hot pages, so the override only applies to the fixed-protocol case.
     cfg.dsm.pcp = dsm::Pcp::kWriteInvalidate;
   }
   Cluster cluster(cfg);

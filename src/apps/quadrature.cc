@@ -3,7 +3,6 @@
 #include <cmath>
 #include <deque>
 
-#include "src/common/check.h"
 
 namespace dfil::apps {
 namespace {

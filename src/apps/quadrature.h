@@ -8,7 +8,6 @@
 #define DFIL_APPS_QUADRATURE_H_
 
 #include "src/apps/common.h"
-#include "src/core/config.h"
 
 namespace dfil::apps {
 

@@ -112,6 +112,22 @@ struct DsmStats {
   uint64_t stale_transfer_dups_ignored = 0;  // duplicated transfer requests for an already-answered fault
   uint64_t discarded_installs = 0;           // page installs dropped because invalidated in flight
 
+  // Multiple-writer diff protocol (kDiff) and the per-page-group adapter.
+  uint64_t diff_twins_created = 0;         // pages twinned on first write to a diff copy
+  uint64_t diff_merges_sent = 0;           // kDiffMerge messages sent at synchronization points
+  uint64_t diff_pages_flushed = 0;         // twinned pages encoded and dropped at sync points
+  uint64_t diff_bytes_sent = 0;            // modified-run payload bytes inside sent diffs
+  uint64_t diff_merges_applied = 0;        // merge messages applied at this home node
+  uint64_t diff_pages_merged = 0;          // pages patched by applied merges
+  uint64_t diff_stale_merges_ignored = 0;  // duplicate / old-epoch merges skipped (idempotence)
+  uint64_t adapter_switches_to_diff = 0;   // page groups this owner flipped implicit-inv -> diff
+  uint64_t adapter_switches_to_ii = 0;     // page groups flipped back after calm epochs
+
+  // Page-content payload bytes this node shipped: full pages inside data/bulk replies plus diff
+  // run bytes. The false-sharing bench's headline metric — diff ships O(bytes changed) where the
+  // single-writer protocols ship whole pages.
+  uint64_t page_data_bytes = 0;
+
   // Page-request message count (the Figure-9 hot-path traffic this node generated).
   uint64_t page_request_messages() const { return single_page_requests + bulk_requests; }
 

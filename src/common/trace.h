@@ -110,6 +110,14 @@ class NodeTracer {
       rec_->Instant(node_, tid_(), category, std::move(name), clock_());
     }
   }
+  // A point event on an explicit tid track instead of the current server thread's — decision
+  // lanes like the fault-injection `inject` track (sim::Machine::kInjectionTid) or the protocol
+  // adapter's `adapt` track, which group per node in the trace viewer.
+  void InstantOnTrack(uint64_t tid, const char* category, std::string name) {
+    if (rec_ != nullptr) {
+      rec_->Instant(node_, tid, category, std::move(name), clock_());
+    }
+  }
   void Flow(char phase, const char* category, std::string name, uint64_t flow_id) {
     if (rec_ != nullptr && flow_id != 0) {
       rec_->Flow(node_, tid_(), phase, category, std::move(name), clock_(), flow_id);

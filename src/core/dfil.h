@@ -1,0 +1,38 @@
+// dfil.h — the single public header for Distributed Filaments programs.
+//
+// Applications, examples, and benches include only this file; everything underneath
+// (src/dsm, src/net, src/sim, the split core headers) is internal layout that can move without
+// breaking user code. The exported surface:
+//
+//   core::ClusterConfig   — nodes, network kind, cost model, page size, PCP + adapter knobs
+//   core::Cluster         — builds the simulated cluster; cluster.Run(node_program) executes the
+//                           SPMD program once and returns a core::RunReport
+//   core::NodeEnv         — the per-node handle inside Run: Read/Write on global addresses,
+//                           filament pools, fork/join, Barrier, Reduce, bulk messaging
+//   core::GlobalRef<T>, core::GlobalArray1D<T>, core::GlobalArray2D<T>
+//                         — typed views over cluster.layout() allocations
+//   core::ParallelFor*    — forall-style lowering helpers over filament pools
+//   dsm::Pcp, dsm::PcpName — the page-consistency protocols (migratory, write-invalidate,
+//                           implicit-invalidate, diff) selected via ClusterConfig::dsm
+//   dsm::CoherenceOracle  — optional checker attached via ClusterConfig::coherence_oracle
+//   sim::FaultPlan        — message-level fault injection via ClusterConfig::fault_plan
+//   DFIL_CHECK / DFIL_LOG / DfilSetLogLevel, common::Rng — checks, logging, deterministic RNG
+//
+// See README.md ("Public API") for a walkthrough and examples/quickstart.cpp for the smallest
+// complete program.
+#ifndef DFIL_CORE_DFIL_H_
+#define DFIL_CORE_DFIL_H_
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/core/cluster.h"
+#include "src/core/config.h"
+#include "src/core/forkjoin.h"
+#include "src/core/global_array.h"
+#include "src/core/node_env.h"
+#include "src/core/parallel.h"
+#include "src/dsm/coherence_oracle.h"
+#include "src/sim/fault_plan.h"
+
+#endif  // DFIL_CORE_DFIL_H_

@@ -36,6 +36,16 @@ MetricsRegistry FlattenNode(const NodeReport& nr) {
   m.Set("dsm.stale_invalidations_ignored", d.stale_invalidations_ignored);
   m.Set("dsm.stale_transfer_dups_ignored", d.stale_transfer_dups_ignored);
   m.Set("dsm.discarded_installs", d.discarded_installs);
+  m.Set("dsm.diff_twins_created", d.diff_twins_created);
+  m.Set("dsm.diff_merges_sent", d.diff_merges_sent);
+  m.Set("dsm.diff_pages_flushed", d.diff_pages_flushed);
+  m.Set("dsm.diff_bytes_sent", d.diff_bytes_sent);
+  m.Set("dsm.diff_merges_applied", d.diff_merges_applied);
+  m.Set("dsm.diff_pages_merged", d.diff_pages_merged);
+  m.Set("dsm.diff_stale_merges_ignored", d.diff_stale_merges_ignored);
+  m.Set("dsm.adapter_switches_to_diff", d.adapter_switches_to_diff);
+  m.Set("dsm.adapter_switches_to_ii", d.adapter_switches_to_ii);
+  m.Set("dsm.page_data_bytes", d.page_data_bytes);
   m.Set("dsm.page_request_messages", d.page_request_messages());
 
   const net::PacketStats& p = nr.packet;

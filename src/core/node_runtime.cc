@@ -514,6 +514,11 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
   // A reduction is a synchronization point: implicit-invalidate drops read-only copies here,
   // before any message is sent, which is why it needs no invalidation traffic (paper §3).
   dsm_->AtSyncPoint();
+  // The diff protocol flushes twinned pages inside AtSyncPoint; each merge message counts as an
+  // outstanding fetch until the home acks it, and this node may not contribute to the barrier
+  // before then (the champion's quiescent sweep must see every merge applied). A no-op for the
+  // single-writer protocols, which send nothing at sync points.
+  WaitForFetchDrain();
 
   const uint64_t epoch = ++reduce_epoch_;
   double result = value;

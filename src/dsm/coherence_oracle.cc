@@ -1,5 +1,6 @@
 #include "src/dsm/coherence_oracle.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
@@ -63,7 +64,8 @@ void CoherenceOracle::OnServeRead(NodeId server, NodeId to, PageId page) {
       continue;
     }
     SyncShadow(server, p);
-    if (nodes_[server]->pcp() == Pcp::kWriteInvalidate && (e.copyset & (uint64_t{1} << to)) == 0) {
+    if (nodes_[server]->page_pcp(p) == Pcp::kWriteInvalidate &&
+        (e.copyset & (uint64_t{1} << to)) == 0) {
       std::ostringstream os;
       os << "node " << server << " served page " << p << " to " << to
          << " without tracking it in the copyset";
@@ -120,9 +122,9 @@ void CoherenceOracle::OnInstallRead(NodeId node, PageId page) {
       Violate(os.str());
     }
     // Write-invalidate promises no stale read copies: a copy invalidated while the bytes were in
-    // flight must be discarded, never installed. (Implicit-invalidate tolerates intra-epoch
-    // staleness by design, so the byte check applies only at sync points there.)
-    if (nodes_[node]->pcp() == Pcp::kWriteInvalidate && !FrameEqualsShadow(node, p)) {
+    // flight must be discarded, never installed. (Implicit-invalidate and diff tolerate
+    // intra-epoch staleness by design, so the byte check applies only at sync points there.)
+    if (nodes_[node]->page_pcp(p) == Pcp::kWriteInvalidate && !FrameEqualsShadow(node, p)) {
       std::ostringstream os;
       os << "node " << node << " installed stale bytes for page " << p << " (shadow v"
          << version_[p] << ")";
@@ -162,7 +164,9 @@ void CoherenceOracle::OnWriteGranted(NodeId node, PageId page) {
     }
     installed_version_[node][p] = version_[p];
     // Single-writer: no second owner, and under the invalidating protocols no other valid copy.
-    const Pcp pcp = nodes_[node]->pcp();
+    // (Implicit-invalidate copies die at the next sync point instead, and diff is multiple-writer
+    // by design, so both tolerate other valid copies here.)
+    const Pcp pcp = nodes_[node]->page_pcp(p);
     for (NodeId m = 0; m < static_cast<NodeId>(nodes_.size()); ++m) {
       if (m == node || nodes_[m] == nullptr) {
         continue;
@@ -173,7 +177,8 @@ void CoherenceOracle::OnWriteGranted(NodeId node, PageId page) {
         os << "two owners of page " << p << ": " << node << " and " << m;
         Violate(os.str());
       }
-      if (pcp != Pcp::kImplicitInvalidate && other.state != PageState::kInvalid) {
+      if (pcp != Pcp::kImplicitInvalidate && pcp != Pcp::kDiff &&
+          other.state != PageState::kInvalid) {
         std::ostringstream os;
         os << "node " << node << " acquired page " << p << " for writing while node " << m
            << " still holds a valid copy";
@@ -200,14 +205,86 @@ void CoherenceOracle::OnDiscardedInstall(NodeId node, PageId page) {
   ++installs_discarded_;
 }
 
+void CoherenceOracle::OnTwinWrite(NodeId node, PageId page) {
+  ++checks_run_;
+  const PageEntry& e = Entry(node, page);
+  if (e.state != PageState::kReadWrite || e.owner) {
+    std::ostringstream os;
+    os << "node " << node << " twin-write of page " << page << " left state "
+       << static_cast<int>(e.state) << " owner=" << e.owner;
+    Violate(os.str());
+  }
+  if (nodes_[node]->page_pcp(page) != Pcp::kDiff) {
+    std::ostringstream os;
+    os << "node " << node << " twinned page " << page << " outside the diff protocol";
+    Violate(os.str());
+  }
+}
+
+void CoherenceOracle::OnDiffWriteInstall(NodeId node, PageId page) {
+  for (PageId p : layout_->GroupPagesOf(page)) {
+    ++checks_run_;
+    const PageEntry& e = Entry(node, p);
+    if (e.state != PageState::kReadWrite || e.owner || !e.diff_copy) {
+      std::ostringstream os;
+      os << "node " << node << " diff write-install of page " << p << " left state "
+         << static_cast<int>(e.state) << " owner=" << e.owner << " diff=" << e.diff_copy;
+      Violate(os.str());
+    }
+    // Like implicit-invalidate reads, the installed bytes may trail the shadow within the epoch
+    // (the home can merge other writers after serving us); only version monotonicity is checked.
+    if (version_[p] < installed_version_[node][p]) {
+      std::ostringstream os;
+      os << "node " << node << " diff-installed page " << p << " v" << version_[p]
+         << " after already holding v" << installed_version_[node][p];
+      Violate(os.str());
+    }
+    installed_version_[node][p] = version_[p];
+  }
+}
+
+void CoherenceOracle::OnDiffMergeApplied(NodeId home, NodeId src, PageId page, uint64_t epoch,
+                                         const std::vector<net::DiffRun>& runs) {
+  ++checks_run_;
+  const PageEntry& e = Entry(home, page);
+  if (!e.owner) {
+    std::ostringstream os;
+    os << "node " << home << " merged a diff for page " << page << " without owning it";
+    Violate(os.str());
+  }
+  // Concurrent diff writers are legal only on disjoint byte ranges: two same-epoch merges from
+  // different senders whose runs overlap mean both wrote the same bytes between the same pair of
+  // barriers — a data race the merge order would silently resolve.
+  std::vector<MergeRec>& log = merge_log_[page];
+  std::erase_if(log, [epoch](const MergeRec& rec) { return rec.epoch < epoch; });
+  for (const MergeRec& rec : log) {
+    if (rec.src == src || rec.epoch != epoch) {
+      continue;
+    }
+    for (const net::DiffRun& a : rec.runs) {
+      for (const net::DiffRun& b : runs) {
+        const uint16_t lo = std::max(a.offset, b.offset);
+        const uint32_t hi = std::min<uint32_t>(a.offset + a.len, b.offset + b.len);
+        if (lo < hi) {
+          std::ostringstream os;
+          os << "overlapping diff merges on page " << page << " epoch " << epoch << ": nodes "
+             << rec.src << " and " << src << " both wrote bytes [" << lo << "," << hi << ")";
+          Violate(os.str());
+        }
+      }
+    }
+  }
+  log.push_back(MergeRec{src, epoch, runs});
+  // The merge made src's write burst observable in the home frame; fold it into the shadow.
+  SyncShadow(home, page);
+}
+
 void CoherenceOracle::AtQuiescentPoint() {
   ++quiescent_points_;
-  Pcp pcp = Pcp::kWriteInvalidate;
   for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
     if (nodes_[n] == nullptr) {
       continue;
     }
-    pcp = nodes_[n]->pcp();
     if (nodes_[n]->pending_fetches() != 0) {
       std::ostringstream os;
       os << "node " << n << " has " << nodes_[n]->pending_fetches()
@@ -232,6 +309,9 @@ void CoherenceOracle::AtQuiescentPoint() {
       continue;
     }
     SyncShadow(owner, p);
+    // The owner's view of the page's protocol governs the sweep (under adaptation the owner is
+    // the node that decides the group's mode).
+    const Pcp pcp = nodes_[owner]->page_pcp(p);
     for (NodeId n = 0; n < static_cast<NodeId>(nodes_.size()); ++n) {
       if (nodes_[n] == nullptr) {
         continue;
@@ -247,11 +327,12 @@ void CoherenceOracle::AtQuiescentPoint() {
       }
       // A surviving non-owner copy: legal only under write-invalidate (read replication with
       // copyset tracking). Migratory keeps a single copy; implicit-invalidate drops every read
-      // copy at the sync point that precedes this quiescent point.
+      // copy — and diff additionally flushes every twinned copy — at the sync point that
+      // precedes this quiescent point.
       if (pcp != Pcp::kWriteInvalidate) {
         std::ostringstream os;
         os << "node " << n << " holds a copy of page " << p << " at a quiescent point under "
-           << (pcp == Pcp::kMigratory ? "migratory" : "implicit-invalidate");
+           << PcpName(pcp);
         Violate(os.str());
       } else if ((Entry(owner, p).copyset & (uint64_t{1} << n)) == 0) {
         std::ostringstream os;

@@ -19,6 +19,13 @@
 // next sync point), so the per-install byte check is skipped under that protocol; the barrier
 // sweep still demands that no copy survives the sync point and that frames agree.
 //
+// The diff protocol is multiple-writer by design, so its writable copies are tracked through
+// dedicated hooks instead of the single-writer grant invariant: concurrent diff writers to
+// *disjoint* byte ranges of a page are legal, but two merges from different senders in the same
+// epoch whose runs overlap are a data race and are flagged. Every protocol check consults the
+// per-page protocol (DsmNode::page_pcp), so adapted clusters mixing implicit-invalidate and diff
+// groups are checked per group.
+//
 // Wiring: construct one CoherenceOracle, point ClusterConfig::coherence_oracle at it, and every
 // DsmNode attaches itself and reports transitions through DFIL_ORACLE hooks. The hooks are a
 // null-pointer check when unused and compile out entirely with -DDFIL_DISABLE_COHERENCE_ORACLE,
@@ -29,11 +36,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/types.h"
 #include "src/dsm/dsm_node.h"
+#include "src/net/wire.h"
 
 namespace dfil::dsm {
 
@@ -64,6 +73,13 @@ class CoherenceOracle {
   void OnInvalidated(NodeId node, PageId page);
   // `node` discarded an in-flight install because the copy was invalidated before it landed.
   void OnDiscardedInstall(NodeId node, PageId page);
+  // Diff protocol: `node` twinned `page` and promoted its non-owner copy to writable.
+  void OnTwinWrite(NodeId node, PageId page);
+  // Diff protocol: `node` installed a writable (unowned, twinned) copy of `page`'s group.
+  void OnDiffWriteInstall(NodeId node, PageId page);
+  // Diff protocol: home `home` merged `src`'s runs for `page` from its epoch-`epoch` flush.
+  void OnDiffMergeApplied(NodeId home, NodeId src, PageId page, uint64_t epoch,
+                          const std::vector<net::DiffRun>& runs);
 
   // Global sweep at a quiescent point: called by the barrier champion once every node has
   // contributed (and therefore drained its fetches and run AtSyncPoint).
@@ -91,6 +107,16 @@ class CoherenceOracle {
   std::vector<uint64_t> version_;
   // version_[] value each node last installed, for the monotonicity check.
   std::vector<std::vector<uint64_t>> installed_version_;
+
+  // Merge log for the overlapping-writer check: per page, the runs every sender merged in the
+  // current epoch (older epochs are pruned as newer merges arrive — cross-epoch overlap is
+  // ordinary sequential reuse, not a race).
+  struct MergeRec {
+    NodeId src;
+    uint64_t epoch;
+    std::vector<net::DiffRun> runs;
+  };
+  std::map<PageId, std::vector<MergeRec>> merge_log_;
 
   std::vector<std::string> violations_;
   uint64_t checks_run_ = 0;

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/dsm/coherence_oracle.h"
+#include "src/dsm/page_protocol.h"
 
 // Coherence-oracle hook: a null-pointer check when no oracle is attached, nothing at all when
 // compiled out (benches pay zero).
@@ -38,8 +39,9 @@ struct RequestBody {
 
 struct ReplyHeader {
   uint8_t status;
-  NodeId owner_hint;       // redirect target, or the replying owner for data replies
-  uint8_t grants_ownership;
+  NodeId owner_hint;  // redirect target, or the replying owner for data replies
+  uint8_t flags;      // kReplyFlagOwnership | kReplyFlagDiff (bit 0 was `grants_ownership`, so
+                      // single-writer replies are byte-identical to the pre-seam format)
   uint16_t npages;
 };
 
@@ -108,6 +110,38 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
       net::Service::kBulkPageRequest,
       [this](NodeId src, net::WireReader body) { return ServeBulkRequest(src, body); },
       /*idempotent=*/true, TimeCategory::kDataTransfer);
+  packet_->RegisterService(
+      net::Service::kDiffMerge,
+      [this](NodeId src, net::WireReader body) { return diff_->ServeMerge(src, body); },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
+
+  protocols_[static_cast<size_t>(Pcp::kMigratory)] = std::make_unique<MigratoryProtocol>(*this);
+  protocols_[static_cast<size_t>(Pcp::kWriteInvalidate)] =
+      std::make_unique<WriteInvalidateProtocol>(*this);
+  protocols_[static_cast<size_t>(Pcp::kImplicitInvalidate)] =
+      std::make_unique<ImplicitInvalidateProtocol>(*this);
+  auto diff = std::make_unique<DiffProtocol>(*this);
+  diff_ = diff.get();
+  protocols_[static_cast<size_t>(Pcp::kDiff)] = std::move(diff);
+  if (config_.adapt_protocols) {
+    DFIL_CHECK(config_.pcp == Pcp::kImplicitInvalidate)
+        << "protocol adaptation switches groups between implicit-invalidate and diff; the base "
+           "PCP must be implicit-invalidate";
+    // The diff flush runs first so twinned pages are encoded before any copy sweep.
+    active_protocols_ = {diff_, protocols_[static_cast<size_t>(Pcp::kImplicitInvalidate)].get()};
+  } else {
+    active_protocols_ = {protocols_[static_cast<size_t>(config_.pcp)].get()};
+  }
+}
+
+DsmNode::~DsmNode() = default;
+
+Pcp DsmNode::page_pcp(PageId page) const {
+  if (!config_.adapt_protocols) {
+    return config_.pcp;
+  }
+  const auto it = adapt_.find(GroupRoot(page));
+  return it == adapt_.end() ? Pcp::kImplicitInvalidate : it->second.mode;
 }
 
 void DsmNode::AttachOracle(CoherenceOracle* oracle) {
@@ -164,6 +198,9 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
     stats_.write_faults++;
   }
   fault_heat_[page]++;
+  if (config_.adapt_protocols && mode == AccessMode::kWrite && !e.owner) {
+    NoteAdaptTraffic(page);
+  }
   hooks_.charge(TimeCategory::kDataTransfer, costs_->fault_handle);
   DFIL_LOG(kDebug, "dsm") << "node " << self_ << " " << (mode == AccessMode::kRead ? "r" : "w")
                           << "-fault page " << page << " @" << ToMilliseconds(hooks_.clock())
@@ -178,31 +215,16 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
     return;
   }
 
-  const bool upgrade_as_owner = config_.pcp == Pcp::kWriteInvalidate && e.owner &&
-                                e.state == PageState::kReadOnly && mode == AccessMode::kWrite;
   bool initiated = false;
-  if (upgrade_as_owner && !e.fetching) {
-    // We own the page but downgraded to read-only for other readers; invalidate their copies and
-    // upgrade in place — no page request needed.
-    e.fetching = true;
-    e.fetch_mode = AccessMode::kWrite;
-    ++pending_fetches_;
+  if (!e.fetching) {
+    // The protocol decides what a fresh fault does: demand-fetch through the owner directory
+    // (default), upgrade in place (write-invalidate owners), or twin the copy locally (diff).
+    const FaultResult r = mode == AccessMode::kWrite ? proto(page).OnWriteFault(page)
+                                                     : proto(page).OnReadFault(page);
+    if (r == FaultResult::kSatisfied) {
+      return;  // handled without a fetch; the access proceeds immediately
+    }
     initiated = true;
-    e.trace_id = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
-    const uint64_t targets = e.copyset & ~Bit(self_);
-    TraceContext trace_ctx(hooks_.tracer, e.trace_id);
-    StartInvalidations(page, targets);
-  } else if (!e.fetching) {
-    e.fetching = true;
-    e.fetch_mode = mode;
-    ++e.fetch_seq;  // a fresh fault; redirect re-sends within it keep the same seq
-    ++pending_fetches_;
-    initiated = true;
-    // Allocate the causal trace id for this fetch; the request, every chase hop, the owner's
-    // serve, and the final install all carry it.
-    e.trace_id = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
-    TraceContext trace_ctx(hooks_.tracer, e.trace_id);
-    SendPageRequest(page, mode, e.probable_owner);
   }
   // If a fetch is already outstanding (even a weaker read fetch), simply wait: Access() rechecks
   // on wake-up and re-faults with the stronger mode if still insufficient.
@@ -235,6 +257,19 @@ void DsmNode::FaultAndWait(PageId page, AccessMode mode) {
   if (hooks_.trace_fault_end) {
     hooks_.trace_fault_end();
   }
+}
+
+void DsmNode::StartOwnerUpgrade(PageId page) {
+  // We own the page but downgraded to read-only for other readers; invalidate their copies and
+  // upgrade in place — no page request needed.
+  PageEntry& e = table_[page];
+  e.fetching = true;
+  e.fetch_mode = AccessMode::kWrite;
+  ++pending_fetches_;
+  e.trace_id = hooks_.tracer != nullptr ? hooks_.tracer->NewTraceId() : 0;
+  const uint64_t targets = e.copyset & ~Bit(self_);
+  TraceContext trace_ctx(hooks_.tracer, e.trace_id);
+  StartInvalidations(page, targets);
 }
 
 void DsmNode::StartInvalidations(PageId page, uint64_t targets) {
@@ -304,7 +339,7 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
     stats_.grant_reserves++;
     DFIL_ORACLE(OnServeGrantReserve(self_, src, req.page));
     return BuildDataReply(req.page, /*transfer_ownership=*/true,
-                          /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate,
+                          /*include_copyset=*/proto(req.page).TracksCopyset(),
                           /*from_grant=*/true);
   }
 
@@ -346,8 +381,8 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
       }
       return std::nullopt;
     }
-    const bool transfers = config_.pcp == Pcp::kMigratory || req.mode == AccessMode::kWrite;
-    if (transfers && config_.mirage_window > 0 && hooks_.clock() < e.hold_until) {
+    if (proto(req.page).TransfersOwnership(req.mode) && config_.mirage_window > 0 &&
+        hooks_.clock() < e.hold_until) {
       // Mirage hold window: ignore the request; the requester's retransmission will retry.
       stats_.mirage_deferrals++;
       if (NodeTracer* tr = tracer(); tr != nullptr) {
@@ -357,37 +392,7 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
     }
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_service);
     stats_.page_requests_served++;
-
-    if (!transfers) {
-      // Read copy. Under write-invalidate the owner downgrades and tracks the copy; under
-      // implicit-invalidate the copy is untracked (it dies at the reader's next sync point).
-      if (config_.pcp == Pcp::kWriteInvalidate) {
-        for (PageId p : layout_->GroupPagesOf(req.page)) {
-          table_[p].state = PageState::kReadOnly;
-          table_[p].copyset |= Bit(src);
-        }
-      }
-      DFIL_ORACLE(OnServeRead(self_, src, req.page));
-      return BuildDataReply(req.page, /*transfer_ownership=*/false, /*include_copyset=*/false);
-    }
-
-    // Ownership transfer (migratory always; write faults otherwise).
-    DFIL_LOG(kDebug, "dsm") << "node " << self_ << " transfers page " << req.page << " -> " << src
-                            << " @" << ToMilliseconds(hooks_.clock()) << "ms";
-    net::Payload reply = BuildDataReply(req.page, /*transfer_ownership=*/true,
-                                        /*include_copyset=*/config_.pcp == Pcp::kWriteInvalidate);
-    DFIL_ORACLE(OnServeTransfer(self_, src, req.page));
-    for (PageId p : layout_->GroupPagesOf(req.page)) {
-      PageEntry& ge = table_[p];
-      ge.granted_to = src;
-      ge.grant_seq = req.fault_seq;
-      ge.grant_copyset = ge.copyset;
-      ge.state = PageState::kInvalid;
-      ge.owner = false;
-      ge.copyset = 0;
-      ge.probable_owner = src;
-    }
-    return reply;
+    return proto(req.page).OnRemoteRequest(src, req.page, req.mode, req.fault_seq);
   }
 
   // Not the owner: redirect the requester along the probable-owner chain.
@@ -398,12 +403,51 @@ std::optional<net::Payload> DsmNode::ServePageRequest(NodeId src, net::WireReade
   return w.Take();
 }
 
+net::Payload DsmNode::ServeReadCopy(NodeId src, PageId page, uint8_t extra_flags) {
+  // Read copy. A copyset-tracking owner (write-invalidate) downgrades and tracks the copy;
+  // otherwise the copy is untracked — it dies at the reader's next sync point
+  // (implicit-invalidate) or is merged back by diffs (diff).
+  if (proto(page).TracksCopyset()) {
+    for (PageId p : layout_->GroupPagesOf(page)) {
+      table_[p].state = PageState::kReadOnly;
+      table_[p].copyset |= Bit(src);
+    }
+  }
+  DFIL_ORACLE(OnServeRead(self_, src, page));
+  return BuildDataReply(page, /*transfer_ownership=*/false, /*include_copyset=*/false,
+                        /*from_grant=*/false, extra_flags);
+}
+
+net::Payload DsmNode::ServeTransfer(NodeId src, PageId page, uint32_t fault_seq) {
+  // Ownership transfer (migratory always; write faults otherwise).
+  DFIL_LOG(kDebug, "dsm") << "node " << self_ << " transfers page " << page << " -> " << src
+                          << " @" << ToMilliseconds(hooks_.clock()) << "ms";
+  if (config_.adapt_protocols) {
+    NoteAdaptTraffic(page);  // write transfers served are the owner's half of the ping-pong count
+  }
+  net::Payload reply = BuildDataReply(page, /*transfer_ownership=*/true,
+                                      /*include_copyset=*/proto(page).TracksCopyset());
+  DFIL_ORACLE(OnServeTransfer(self_, src, page));
+  for (PageId p : layout_->GroupPagesOf(page)) {
+    PageEntry& ge = table_[p];
+    ge.granted_to = src;
+    ge.grant_seq = fault_seq;
+    ge.grant_copyset = ge.copyset;
+    ge.state = PageState::kInvalid;
+    ge.owner = false;
+    ge.copyset = 0;
+    ge.probable_owner = src;
+  }
+  return reply;
+}
+
 net::Payload DsmNode::BuildDataReply(PageId page, bool transfer_ownership, bool include_copyset,
-                                     bool from_grant) {
+                                     bool from_grant, uint8_t extra_flags) {
   const std::vector<PageId> group = layout_->GroupPagesOf(page);
+  const uint8_t flags =
+      static_cast<uint8_t>((transfer_ownership ? kReplyFlagOwnership : 0) | extra_flags);
   net::WireWriter w;
-  w.Put(ReplyHeader{kReplyOk, self_, static_cast<uint8_t>(transfer_ownership),
-                    static_cast<uint16_t>(group.size())});
+  w.Put(ReplyHeader{kReplyOk, self_, flags, static_cast<uint16_t>(group.size())});
   const size_t ps = layout_->page_size();
   for (PageId p : group) {
     const PageEntry& e = table_[p];
@@ -411,6 +455,7 @@ net::Payload DsmNode::BuildDataReply(PageId page, bool transfer_ownership, bool 
     w.Put(PageBlockHeader{p, copyset});
     w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
   }
+  stats_.page_data_bytes += group.size() * ps;
   return w.Take();
 }
 
@@ -446,7 +491,7 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_install);
   }
 
-  if (h.grants_ownership == 0 && e.discard_install) {
+  if ((h.flags & kReplyFlagOwnership) == 0 && e.discard_install) {
     // The copy was invalidated while the bytes were in flight: the owner served us, then granted
     // the page to a writer whose invalidation raced ahead of our reply. Installing now would
     // resurrect stale bytes as a read-only copy the owner no longer tracks. Drop the install;
@@ -460,25 +505,28 @@ void DsmNode::OnPageReply(PageId page, AccessMode mode, net::Payload reply) {
     return;
   }
 
-  if (h.grants_ownership != 0 && config_.pcp == Pcp::kWriteInvalidate &&
-      mode == AccessMode::kWrite) {
-    // Invalidate every other read copy before the write proceeds.
-    const uint64_t targets = copyset & ~Bit(self_);
-    StartInvalidations(page, targets);
+  if ((h.flags & kReplyFlagOwnership) != 0) {
+    if (mode == AccessMode::kWrite && proto(page).OnOwnershipInstall(page, copyset)) {
+      return;  // the protocol continues the fetch itself (write-invalidate's invalidation round)
+    }
+    FinishFetch(page, PageState::kReadWrite, /*ownership=*/true);
     return;
   }
 
-  if (h.grants_ownership != 0) {
-    FinishFetch(page, PageState::kReadWrite, /*ownership=*/true);
-  } else {
-    for (PageId p : layout_->GroupPagesOf(page)) {
-      table_[p].probable_owner = h.owner_hint;
-    }
-    FinishFetch(page, PageState::kReadOnly, /*ownership=*/false);
+  for (PageId p : layout_->GroupPagesOf(page)) {
+    table_[p].probable_owner = h.owner_hint;
   }
+  if ((h.flags & kReplyFlagDiff) != 0 && mode == AccessMode::kWrite) {
+    // A diff-tagged copy answering a write fault: twin it and install it writable in place, so
+    // the write proceeds without an ownership transfer.
+    diff_->InstallWritableCopy(page);
+    return;
+  }
+  FinishFetch(page, PageState::kReadOnly, /*ownership=*/false,
+              /*diff_copy=*/(h.flags & kReplyFlagDiff) != 0);
 }
 
-void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
+void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership, bool diff_copy) {
   // The arc terminates here whether the fetch installed or was discarded (a re-fault starts a new
   // arc with a fresh id).
   TraceSpan install_span(hooks_.tracer, "dsm",
@@ -499,6 +547,7 @@ void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
     e.discard_install = false;
     e.pending_invalidate_acks = 0;
     e.trace_id = 0;
+    e.diff_copy = new_state == PageState::kInvalid ? false : diff_copy;
     e.hold_until = hooks_.clock() + config_.mirage_window;
     // The grant record (granted_to/grant_seq/grant_copyset) deliberately survives this fetch:
     // a delayed duplicate of the transfer request the grant answered can still arrive after we
@@ -521,8 +570,17 @@ void DsmNode::FinishFetch(PageId page, PageState new_state, bool ownership) {
       hooks_.wake(t);
     }
   }
+  if (config_.adapt_protocols && new_state != PageState::kInvalid) {
+    // The reply's diff tag is authoritative: the serving owner decided the group's mode, and the
+    // requester's adapter view follows it so later faults twin (or demand-fetch) consistently.
+    AdaptState& st = adapt_[GroupRoot(page)];
+    st.mode = diff_copy ? Pcp::kDiff : Pcp::kImplicitInvalidate;
+    st.calm = 0;
+  }
   if (ownership && new_state == PageState::kReadWrite) {
     DFIL_ORACLE(OnWriteGranted(self_, page));
+  } else if (new_state == PageState::kReadWrite) {
+    DFIL_ORACLE(OnDiffWriteInstall(self_, page));
   } else if (new_state == PageState::kReadOnly) {
     DFIL_ORACLE(OnInstallRead(self_, page));
   }
@@ -641,7 +699,7 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
     const PageId p = static_cast<PageId>(p64);
     const PageEntry& e = table_[p];
     const bool servable = e.owner && !e.fetching && !e.pending_use &&
-                          config_.pcp != Pcp::kMigratory && layout_->GroupOf(p) == kNoGroup;
+                          page_pcp(p) != Pcp::kMigratory && layout_->GroupOf(p) == kNoGroup;
     (servable ? hits : misses).push_back(p);
   }
   if (!hits.empty()) {
@@ -656,7 +714,7 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
   const size_t ps = layout_->page_size();
   for (PageId p : hits) {
     PageEntry& e = table_[p];
-    if (config_.pcp == Pcp::kWriteInvalidate) {
+    if (proto(p).TracksCopyset()) {
       e.state = PageState::kReadOnly;  // owner downgrades and tracks the copy, as for any read
       e.copyset |= Bit(src);
     }
@@ -664,6 +722,7 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
     w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
     DFIL_ORACLE(OnServeRead(self_, src, p));
   }
+  stats_.page_data_bytes += hits.size() * ps;
   for (PageId p : misses) {
     w.Put(p);
   }
@@ -712,6 +771,10 @@ void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint) {
   if (installed) {
     e.state = PageState::kReadOnly;
     e.owner = false;
+    // Bulk replies carry no diff tag, so the copy installs untagged even when the requester's
+    // adapter view says diff: a later write fault then demand-fetches a properly tagged copy
+    // (one extra round trip, never a wrong twin).
+    e.diff_copy = false;
     e.probable_owner = owner_hint;
     e.hold_until = hooks_.clock() + config_.mirage_window;
     // Any grant record survives (see FinishFetch); harmless here since state is now kReadOnly.
@@ -786,17 +849,57 @@ std::optional<net::Payload> DsmNode::ServeInvalidate(NodeId src, net::WireReader
 }
 
 void DsmNode::AtSyncPoint() {
-  if (config_.pcp != Pcp::kImplicitInvalidate) {
-    return;
+  for (PageProtocol* p : active_protocols_) {
+    p->OnSyncPoint();
   }
-  // Implicit invalidation: read-only copies have a very short lifetime — they die, without any
-  // message traffic, at every synchronization point (paper §3).
-  for (PageEntry& e : table_) {
-    if (!e.owner && e.state == PageState::kReadOnly && !e.fetching) {
-      e.state = PageState::kInvalid;
-      stats_.implicit_invalidations++;
-      NotePageDiscarded(e);
+  if (config_.adapt_protocols) {
+    AdapterAtSyncPoint();
+  }
+}
+
+void DsmNode::NoteAdaptTraffic(PageId page) { adapt_[GroupRoot(page)].traffic++; }
+
+void DsmNode::AdapterAtSyncPoint() {
+  for (auto& [root, st] : adapt_) {
+    const bool owner = table_[root].owner;
+    if (st.mode == Pcp::kImplicitInvalidate) {
+      // Only the group's owner may flip it to diff: the mode propagates to the other nodes
+      // through the diff tag on the copies this owner serves.
+      if (owner && st.traffic >= config_.adapt_to_diff_threshold) {
+        st.mode = Pcp::kDiff;
+        st.calm = 0;
+        stats_.adapter_switches_to_diff++;
+        DFIL_LOG(kDebug, "dsm") << "node " << self_ << " adapts group p" << root
+                                << " -> diff (traffic=" << st.traffic << ") @"
+                                << ToMilliseconds(hooks_.clock()) << "ms";
+        if (NodeTracer* tr = tracer(); tr != nullptr) {
+          tr->InstantOnTrack(kAdaptTid, "dsm",
+                             "adapt_diff p" + std::to_string(root) + " traffic=" +
+                                 std::to_string(st.traffic));
+        }
+      }
+    } else if (owner) {
+      // Hysteresis: only after adapt_calm_epochs consecutive quiet epochs does the owner fall
+      // back to implicit-invalidate. While any writer still holds a diff copy, its faults/merges
+      // count as traffic, so a live multiple-writer group can never flip back mid-use (which
+      // also pins ownership: the diff protocol never transfers it).
+      if (st.traffic == 0) {
+        if (++st.calm >= config_.adapt_calm_epochs) {
+          st.mode = Pcp::kImplicitInvalidate;
+          st.calm = 0;
+          stats_.adapter_switches_to_ii++;
+          DFIL_LOG(kDebug, "dsm") << "node " << self_ << " adapts group p" << root
+                                  << " -> implicit-invalidate @"
+                                  << ToMilliseconds(hooks_.clock()) << "ms";
+          if (NodeTracer* tr = tracer(); tr != nullptr) {
+            tr->InstantOnTrack(kAdaptTid, "dsm", "adapt_ii p" + std::to_string(root));
+          }
+        }
+      } else {
+        st.calm = 0;
+      }
     }
+    st.traffic = 0;
   }
 }
 

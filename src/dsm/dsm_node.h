@@ -7,13 +7,19 @@
 // Message handlers (page requests, replies, invalidations) run asynchronously — the SIGIO analog —
 // and never block.
 //
-// Three page consistency protocols are implemented (paper §3):
+// Four page consistency protocols are implemented (paper §3 plus the diff extension), as
+// PageProtocol strategies (page_protocol.h):
 //  * kMigratory        — one copy; the page (and ownership) moves to any requester.
 //  * kWriteInvalidate  — replicated read-only copies; a writer acquires ownership and explicitly
 //                        invalidates every copy in the owner-maintained copyset before writing.
 //  * kImplicitInvalidate — like write-invalidate, but read-only copies are implicitly discarded by
 //                        their holders at every synchronization point, so no invalidation messages
 //                        exist. Correct only for regular programs with a stable sharing pattern.
+//  * kDiff             — multiple-writer: the home node serves writable copies, writers twin the
+//                        page on first write and flush run-length-encoded twin/page deltas to the
+//                        home at every synchronization point, which merges them. Same program
+//                        restrictions as implicit-invalidate; falsely-shared pages cost O(bytes
+//                        changed) instead of whole-page ping-pong. See DESIGN.md §10.
 //
 // Ownership is located by probable-owner forwarding: a request sent to a stale owner is answered
 // with a redirect carrying a better hint, and the requester chases the chain (each transfer
@@ -27,9 +33,12 @@
 #ifndef DFIL_DSM_DSM_NODE_H_
 #define DFIL_DSM_DSM_NODE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/intrusive_list.h"
@@ -43,8 +52,14 @@
 namespace dfil::dsm {
 
 class CoherenceOracle;
+class PageProtocol;
+class MigratoryProtocol;
+class WriteInvalidateProtocol;
+class ImplicitInvalidateProtocol;
+class DiffProtocol;
 
-enum class Pcp : uint8_t { kMigratory, kWriteInvalidate, kImplicitInvalidate };
+enum class Pcp : uint8_t { kMigratory, kWriteInvalidate, kImplicitInvalidate, kDiff };
+inline constexpr size_t kNumPcps = 4;
 
 // Stable protocol name used in metrics JSON and report tables.
 constexpr const char* PcpName(Pcp pcp) {
@@ -55,6 +70,8 @@ constexpr const char* PcpName(Pcp pcp) {
       return "write_invalidate";
     case Pcp::kImplicitInvalidate:
       return "implicit_invalidate";
+    case Pcp::kDiff:
+      return "diff";
   }
   return "unknown";
 }
@@ -80,6 +97,17 @@ struct DsmConfig {
   int prefetch_min_run = 2;   // consecutive adjacent faults that arm the detector
   int prefetch_degree = 4;    // pages the armed detector fetches ahead of the faulting page
   int max_bulk_pages = 16;    // cap on the page count of one bulk request
+
+  // --- Per-page-group protocol adaptation (extension; DESIGN.md §10) ---
+  // Requires pcp == kImplicitInvalidate. Every page group starts under implicit-invalidate; the
+  // group's owner flips it to the diff protocol when the group's per-epoch ping-pong write
+  // traffic (write faults taken plus write copies/transfers served) reaches
+  // adapt_to_diff_threshold, and flips it back after adapt_calm_epochs consecutive epochs with
+  // no diff activity (hysteresis, so a group does not oscillate at the threshold). Decisions are
+  // made at synchronization points and recorded as instants on the trace `adapt` track.
+  bool adapt_protocols = false;
+  uint32_t adapt_to_diff_threshold = 3;
+  uint32_t adapt_calm_epochs = 2;
 };
 
 struct PageEntry {
@@ -97,6 +125,7 @@ struct PageEntry {
   uint32_t fetch_seq = 0;  // this node's fault counter for the page; stamped into page requests
   bool discard_install = false;    // the in-flight read copy was invalidated; drop it on arrival
   bool pending_use = false;        // installed for blocked faulters that have not yet run (defer serves)
+  bool diff_copy = false;          // a multiple-writer (diff-protocol) copy; twinned on first write
   bool prefetched_unused = false;  // installed by a prefetch and not yet touched by any access
   bool prefetch_wasted = false;    // sticky: the last prefetched copy died untouched (hint pruning)
   uint64_t trace_id = 0;           // causal trace id of the in-flight fetch (0 = none)
@@ -133,6 +162,7 @@ class DsmNode {
 
   DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* packet,
           const sim::CostModel* costs, const DsmConfig& config, Hooks hooks);
+  ~DsmNode();
 
   DsmNode(const DsmNode&) = delete;
   DsmNode& operator=(const DsmNode&) = delete;
@@ -197,8 +227,16 @@ class DsmNode {
   const GlobalLayout& layout() const { return *layout_; }
   std::byte* raw_replica(GlobalAddr addr) { return replica_.data() + addr; }
   Pcp pcp() const { return config_.pcp; }
+  // The protocol currently governing `page`: the configured PCP, or the adapter's per-group
+  // choice (implicit-invalidate or diff) when adaptation is enabled.
+  Pcp page_pcp(PageId page) const;
 
  private:
+  friend class PageProtocol;
+  friend class MigratoryProtocol;
+  friend class WriteInvalidateProtocol;
+  friend class ImplicitInvalidateProtocol;
+  friend class DiffProtocol;
   // Initiates (or joins) a fetch of `page` with `mode` and suspends the current thread.
   void FaultAndWait(PageId page, AccessMode mode);
 
@@ -213,6 +251,25 @@ class DsmNode {
   std::optional<net::Payload> ServePageRequest(NodeId src, net::WireReader body);
   std::optional<net::Payload> ServeInvalidate(NodeId src, net::WireReader body);
   void OnPageReply(PageId page, AccessMode mode, net::Payload reply);
+
+  // --- PageProtocol plumbing (policy helpers the strategies share; page_protocol.h) ---
+
+  // Write-invalidate upgrade-in-place: invalidate the copyset, no page request.
+  void StartOwnerUpgrade(PageId page);
+  // Owner-side reply builders used by OnRemoteRequest. ServeReadCopy ships an (optionally
+  // copyset-tracked) read copy with `extra_flags` folded into the reply header; ServeTransfer
+  // demotes this owner and records the grant.
+  net::Payload ServeReadCopy(NodeId src, PageId page, uint8_t extra_flags);
+  net::Payload ServeTransfer(NodeId src, PageId page, uint32_t fault_seq);
+  PageProtocol& proto(PageId page) { return *protocols_[static_cast<size_t>(page_pcp(page))]; }
+
+  // --- Per-page-group adapter ---
+
+  PageId GroupRoot(PageId page) const { return layout_->GroupPagesOf(page).front(); }
+  // Counts one unit of ping-pong write traffic against `page`'s group this epoch.
+  void NoteAdaptTraffic(PageId page);
+  // Sync-point decision pass: flip groups between implicit-invalidate and diff with hysteresis.
+  void AdapterAtSyncPoint();
 
   // --- Bulk transfers / prefetching ---
 
@@ -246,13 +303,14 @@ class DsmNode {
   }
   void NotePageDiscarded(PageEntry& e);
 
-  // Completes a fetch: grants access, wakes waiters, decrements pending counter.
-  void FinishFetch(PageId page, PageState new_state, bool ownership);
+  // Completes a fetch: grants access, wakes waiters, decrements pending counter. `diff_copy`
+  // tags the installed group as multiple-writer copies (from the reply's diff flag).
+  void FinishFetch(PageId page, PageState new_state, bool ownership, bool diff_copy = false);
 
   // Builds a data reply for the whole group of `page`, optionally transferring ownership.
   // `from_grant` re-serves a lost transfer from the grant record instead of the live copyset.
   net::Payload BuildDataReply(PageId page, bool transfer_ownership, bool include_copyset,
-                              bool from_grant = false);
+                              bool from_grant = false, uint8_t extra_flags = 0);
 
   bool PagePresent(const PageEntry& e, AccessMode mode) const {
     if (mode == AccessMode::kRead) {
@@ -278,6 +336,22 @@ class DsmNode {
   int pending_fetches_ = 0;
   DsmStats stats_;
   CoherenceOracle* oracle_ = nullptr;
+
+  // One strategy instance per protocol, indexed by Pcp; active_protocols_ are the ones whose
+  // OnSyncPoint runs ({configured} normally, {diff, implicit-invalidate} under adaptation).
+  std::array<std::unique_ptr<PageProtocol>, kNumPcps> protocols_;
+  std::vector<PageProtocol*> active_protocols_;
+  DiffProtocol* diff_ = nullptr;
+
+  // Adapter state, per group root (ungrouped pages are singleton groups). Only groups that saw
+  // ping-pong write traffic have an entry; absent means implicit-invalidate. std::map so the
+  // sync-point decision pass iterates deterministically.
+  struct AdaptState {
+    Pcp mode = Pcp::kImplicitInvalidate;
+    uint32_t traffic = 0;  // this epoch's write faults taken + write copies/transfers served
+    uint32_t calm = 0;     // consecutive epochs with zero traffic while in diff mode
+  };
+  std::map<PageId, AdaptState> adapt_;
 
   // Sequential-fault detector state (last-fault window reduced to a run counter: the run is the
   // only pattern the bulk protocol exploits).

@@ -15,6 +15,8 @@ const char* ServiceName(Service service) {
       return "invalidate";
     case Service::kBulkPageRequest:
       return "bulk_page_request";
+    case Service::kDiffMerge:
+      return "diff_merge";
     case Service::kReduceUp:
       return "reduce_up";
     case Service::kReduceDone:

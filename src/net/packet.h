@@ -41,6 +41,7 @@ enum class Service : uint16_t {
   kPageRequest = 1,
   kInvalidate = 2,
   kBulkPageRequest = 3,  // page-run [first, count] fetch; unowned pages come back as misses
+  kDiffMerge = 4,        // multiple-writer diff flush, merged into the home node's frame
   // Reductions
   kReduceUp = 10,
   kReduceDone = 11,  // raw broadcast dissemination

@@ -6,6 +6,7 @@
 #define DFIL_NET_WIRE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <type_traits>
@@ -73,6 +74,62 @@ class WireReader {
   std::span<const std::byte> data_;
   size_t pos_ = 0;
 };
+
+// --- Multiple-writer diff wire format (Service::kDiffMerge) ------------------------------------
+//
+// At a synchronization point a diff-protocol writer run-length-encodes the bytes that differ
+// between each twinned page and its twin, and sends one kDiffMerge request per home node:
+//
+//   DiffMergeHeader { epoch, npages }
+//   npages x ( DiffPageHeader { page, nruns }  then  nruns x ( DiffRun { offset, len } + bytes ) )
+//
+// `epoch` is the sender's sync-point counter; the home node applies a (sender, epoch) pair at
+// most once, which makes the service idempotent under duplication and retransmission.
+
+struct DiffMergeHeader {
+  uint64_t epoch;
+  uint16_t npages;
+};
+
+struct DiffPageHeader {
+  uint32_t page;  // PageId
+  uint16_t nruns;
+};
+
+// One run of modified bytes within a page; `len` payload bytes follow the header on the wire.
+struct DiffRun {
+  uint16_t offset;
+  uint16_t len;
+};
+
+// Scans `cur` against `twin` and returns the runs of differing bytes. Gaps shorter than
+// `min_gap` equal bytes are absorbed into the surrounding run: each run costs a DiffRun header
+// on the wire, so shipping a few unchanged bytes beats splitting the run.
+inline std::vector<DiffRun> DiffPageRuns(const std::byte* twin, const std::byte* cur,
+                                         size_t page_size, size_t min_gap = 8) {
+  DFIL_CHECK_LE(page_size, size_t{65535}) << "diff runs use 16-bit offsets";
+  std::vector<DiffRun> runs;
+  size_t i = 0;
+  while (i < page_size) {
+    if (twin[i] == cur[i]) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    size_t last_diff = i;
+    ++i;
+    while (i < page_size && i - last_diff <= min_gap) {
+      if (twin[i] != cur[i]) {
+        last_diff = i;
+      }
+      ++i;
+    }
+    runs.push_back(DiffRun{static_cast<uint16_t>(start),
+                           static_cast<uint16_t>(last_diff - start + 1)});
+    i = last_diff + 1;
+  }
+  return runs;
+}
 
 }  // namespace dfil::net
 

@@ -40,6 +40,14 @@ struct CostModel {
   // SIGSEGV delivery and no thread suspension, so cheaper than fault_handle.
   SimTime prefetch_issue = Microseconds(150.0);
 
+  // --- Multiple-writer diff protocol (extension; see DESIGN.md §10) ---
+  // Twinning copies one page (memcpy + mprotect); encoding compares twin and page and builds the
+  // run list; applying patches the runs into the home frame. All software-only page walks on a
+  // Sun IPC, so they sit between invalidate_handle and page_install.
+  SimTime diff_twin_copy = Microseconds(120.0);
+  SimTime diff_encode_page = Microseconds(220.0);
+  SimTime diff_apply_page = Microseconds(130.0);
+
   // --- Messaging (SunOS UDP stack on a Sun IPC) ---
   SimTime msg_send_overhead = Microseconds(620.0);  // syscall + copy + protocol processing
   SimTime msg_recv_overhead = Microseconds(680.0);  // SIGIO + syscall + copy + dispatch

@@ -1,0 +1,336 @@
+// Tests for the PageProtocol seam: the multiple-writer diff protocol (twin on write, RLE diffs
+// merged at the home node at sync points), the per-page-group adapter that flips groups between
+// implicit-invalidate and diff, and the padding-allocator / page-group APIs the seam builds on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/global_array.h"
+#include "src/core/node_runtime.h"
+#include "src/dsm/coherence_oracle.h"
+#include "src/dsm/layout.h"
+#include "src/sim/fault_plan.h"
+
+namespace dfil::dsm {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::GlobalArray1D;
+using core::GlobalRef;
+using core::NodeEnv;
+
+ClusterConfig Config(int nodes, Pcp pcp) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.dsm.pcp = pcp;
+  return cfg;
+}
+
+DsmStats SumDsm(const core::RunReport& r) {
+  DsmStats total;
+  for (const auto& nr : r.nodes) {
+    total.read_faults += nr.dsm.read_faults;
+    total.write_faults += nr.dsm.write_faults;
+    total.invalidations_sent += nr.dsm.invalidations_sent;
+    total.diff_twins_created += nr.dsm.diff_twins_created;
+    total.diff_merges_sent += nr.dsm.diff_merges_sent;
+    total.diff_pages_flushed += nr.dsm.diff_pages_flushed;
+    total.diff_bytes_sent += nr.dsm.diff_bytes_sent;
+    total.diff_merges_applied += nr.dsm.diff_merges_applied;
+    total.diff_pages_merged += nr.dsm.diff_pages_merged;
+    total.diff_stale_merges_ignored += nr.dsm.diff_stale_merges_ignored;
+    total.adapter_switches_to_diff += nr.dsm.adapter_switches_to_diff;
+    total.adapter_switches_to_ii += nr.dsm.adapter_switches_to_ii;
+    total.page_data_bytes += nr.dsm.page_data_bytes;
+  }
+  return total;
+}
+
+// --- Diff protocol ---------------------------------------------------------------------------
+
+// Four nodes concurrently write disjoint quarters of ONE shared page per epoch. Under any
+// single-writer protocol the page ping-pongs; under diff each node twins its copy and the home
+// merges O(bytes changed) at the barrier. Everyone must observe all writes afterwards, with no
+// invalidation traffic at all.
+TEST(DiffProtocolTest, ConcurrentWritersToOnePageMergeAtBarrier) {
+  ClusterConfig cfg = Config(4, Pcp::kDiff);
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<int64_t>::Alloc(cluster.layout(), 64, "arr");  // 512 B: one page
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int iter = 0; iter < 3; ++iter) {
+      for (int i = 0; i < 16; ++i) {
+        arr.Write(env, env.node() * 16 + i, iter * 1000 + env.node() * 16 + i);
+      }
+      env.Barrier();
+      for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(arr.Read(env, i), iter * 1000 + i) << "iter " << iter << " index " << i;
+      }
+      env.Barrier();
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_TRUE(oracle.violations().empty()) << oracle.violations().front();
+  const DsmStats s = SumDsm(r);
+  EXPECT_GT(s.diff_twins_created, 0u);
+  EXPECT_GT(s.diff_merges_sent, 0u);
+  EXPECT_EQ(s.diff_merges_applied, s.diff_merges_sent);
+  EXPECT_GT(s.diff_pages_merged, 0u);
+  EXPECT_EQ(s.invalidations_sent, 0u) << "diff must not send invalidations";
+}
+
+// A write fault on an already-installed diff read copy is satisfied locally by twinning in
+// place: no second page request goes out.
+TEST(DiffProtocolTest, WriteFaultOnDiffReadCopyTwinsWithoutRefetch) {
+  ClusterConfig cfg = Config(2, Pcp::kDiff);
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto x = GlobalRef<int64_t>::Alloc(cluster.layout(), "x");
+  int64_t merged = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 0) {
+      x.Write(env, 5);  // home writes in place, no twin
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      EXPECT_EQ(x.Read(env), 5);  // installs a diff-tagged read copy
+      x.Write(env, 6);            // upgrade must twin locally, not refetch
+    }
+    env.Barrier();
+    if (env.node() == 0) {
+      merged = x.Read(env);
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_TRUE(oracle.violations().empty()) << oracle.violations().front();
+  EXPECT_EQ(merged, 6);
+  EXPECT_EQ(r.nodes[1].dsm.single_page_requests, 1u) << "write upgrade must not refetch";
+  EXPECT_EQ(r.nodes[1].dsm.diff_twins_created, 1u);
+  EXPECT_EQ(r.nodes[1].dsm.diff_merges_sent, 1u);
+  EXPECT_EQ(r.nodes[0].dsm.diff_twins_created, 0u) << "the owner writes in place";
+}
+
+// Duplicated merge requests (retransmission-style) must apply exactly once: the flush-epoch
+// filter recognizes the replay and re-acks without touching the frame.
+TEST(DiffProtocolTest, DuplicatedMergesApplyOnce) {
+  ClusterConfig cfg = Config(3, Pcp::kDiff);
+  sim::FaultRule dup;
+  dup.type = static_cast<uint32_t>(net::Service::kDiffMerge);
+  dup.duplicate = 1.0;
+  dup.delay_min = Milliseconds(0.1);
+  dup.delay_max = Milliseconds(5.0);
+  cfg.fault_plan.rules.push_back(dup);
+  cfg.fault_plan.seed = 11;
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<int64_t>::Alloc(cluster.layout(), 64, "arr");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int iter = 0; iter < 4; ++iter) {
+      arr.Write(env, env.node(), iter * 10 + env.node());
+      env.Barrier();
+      for (int n = 0; n < env.nodes(); ++n) {
+        EXPECT_EQ(arr.Read(env, n), iter * 10 + n);
+      }
+      env.Barrier();
+    }
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_TRUE(oracle.violations().empty()) << oracle.violations().front();
+  EXPECT_GT(SumDsm(r).diff_stale_merges_ignored, 0u)
+      << "every merge was duplicated; replays must hit the epoch filter";
+}
+
+// Negative test: two nodes writing the SAME bytes between the same barriers is a data race under
+// the multiple-writer protocol. The run still completes (last merge wins at the home), but the
+// oracle must flag the overlapping same-epoch merges.
+TEST(DiffOracleTest, OverlappingSameEpochWritersAreFlagged) {
+  ClusterConfig cfg = Config(3, Pcp::kDiff);
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto x = GlobalRef<int64_t>::Alloc(cluster.layout(), "x");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 1) {
+      x.Write(env, 111);
+    }
+    if (env.node() == 2) {
+      x.Write(env, 222);  // same 8 bytes, same epoch: overlapping runs at the home
+    }
+    env.Barrier();
+    x.Read(env);
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  ASSERT_FALSE(oracle.violations().empty()) << "overlapping writers must be flagged";
+  EXPECT_NE(oracle.violations().front().find("overlapping diff merges"), std::string::npos)
+      << oracle.violations().front();
+}
+
+// Disjoint-range concurrent writers, by contrast, are legal: same page, same epoch, different
+// bytes must stay oracle-clean (this is the whole point of the multiple-writer protocol).
+TEST(DiffOracleTest, DisjointSameEpochWritersAreClean) {
+  ClusterConfig cfg = Config(3, Pcp::kDiff);
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<int64_t>::Alloc(cluster.layout(), 8, "arr");
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    arr.Write(env, env.node(), 100 + env.node());
+    env.Barrier();
+    for (int n = 0; n < env.nodes(); ++n) {
+      EXPECT_EQ(arr.Read(env, n), 100 + n);
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_TRUE(oracle.violations().empty()) << oracle.violations().front();
+}
+
+// --- Per-page-group adapter ------------------------------------------------------------------
+
+// False sharing under implicit-invalidate makes a page's owner see a stream of write-fault
+// traffic; the adapter must flip the group to diff, and once traffic dies down for
+// adapt_calm_epochs it must flip back. Values must stay correct across both switches.
+TEST(AdapterTest, FalseSharingFlipsToDiffAndCalmsBack) {
+  ClusterConfig cfg = Config(4, Pcp::kImplicitInvalidate);
+  cfg.dsm.adapt_protocols = true;
+  cfg.dsm.adapt_to_diff_threshold = 1;
+  cfg.dsm.adapt_calm_epochs = 2;
+  CoherenceOracle oracle;
+  cfg.coherence_oracle = &oracle;
+  Cluster cluster(cfg);
+  auto arr = GlobalArray1D<int64_t>::Alloc(cluster.layout(), 64, "arr");  // one falsely-shared page
+  int64_t final_value = 0;
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    // Hot phase: every node writes its own slot of the same page each epoch.
+    for (int iter = 0; iter < 6; ++iter) {
+      arr.Write(env, env.node() * 16, iter * 1000 + env.node());
+      env.Barrier();
+      for (int n = 0; n < env.nodes(); ++n) {
+        EXPECT_EQ(arr.Read(env, n * 16), iter * 1000 + n) << "iter " << iter;
+      }
+      env.Barrier();
+    }
+    // Calm phase: nobody touches the page; the owner must decay the group back to II.
+    for (int iter = 0; iter < 4; ++iter) {
+      env.Barrier();
+    }
+    // Post-switch epoch: a single writer again, values must still propagate.
+    if (env.node() == 2) {
+      arr.Write(env, 5, 4242);
+    }
+    env.Barrier();
+    if (env.node() == 0) {
+      final_value = arr.Read(env, 5);
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+  EXPECT_TRUE(oracle.violations().empty()) << oracle.violations().front();
+  EXPECT_EQ(final_value, 4242);
+  const DsmStats s = SumDsm(r);
+  EXPECT_GE(s.adapter_switches_to_diff, 1u) << "hot false sharing must trigger the diff switch";
+  EXPECT_GE(s.adapter_switches_to_ii, 1u) << "calm epochs must decay the group back";
+  EXPECT_GT(s.diff_twins_created, 0u) << "the diff phase must actually engage twinning";
+  EXPECT_GT(s.diff_merges_sent, 0u);
+}
+
+// Adaptation is per GROUP: all pages of a group share one mode, and a writable diff install of
+// any member twins the whole group (the group moves as a unit, so every page may be dirtied).
+TEST(AdapterTest, GroupedPagesSwitchAsAUnit) {
+  ClusterConfig cfg = Config(2, Pcp::kImplicitInvalidate);
+  cfg.dsm.adapt_protocols = true;
+  cfg.dsm.adapt_to_diff_threshold = 1;
+  // A node with no work between barriers enters later barriers early, ticking the owner's calm
+  // counter while the peer still computes; pin the mode so the asserts see a stable diff group.
+  cfg.dsm.adapt_calm_epochs = 100;
+  Cluster cluster(cfg);
+  const size_t ps = cluster.layout().page_size();
+  GlobalAddr blob = cluster.layout().AllocPadded(2 * ps, "blob");
+  const PageId root = cluster.layout().PageOf(blob);
+  cluster.layout().GroupPages(root, 2);
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    if (env.node() == 1) {
+      env.Write<int64_t>(blob + ps, 7);  // write the SECOND page; node 1 becomes group owner
+    }
+    env.Barrier();  // owner's sync point: traffic >= 1 flips the group to diff
+    if (env.node() == 1) {
+      EXPECT_EQ(env.runtime().dsm().page_pcp(root), Pcp::kDiff);
+      EXPECT_EQ(env.runtime().dsm().page_pcp(root + 1), Pcp::kDiff)
+          << "both group members must switch together";
+    }
+    env.Barrier();
+    if (env.node() == 0) {
+      env.Write<int64_t>(blob, 9);  // diff install of the group at a non-owner
+      EXPECT_GE(env.runtime().dsm().stats().diff_twins_created, 2u)
+          << "a writable diff install twins every page of the group";
+    }
+    env.Barrier();
+    if (env.node() == 1) {
+      EXPECT_EQ(env.Read<int64_t>(blob), 9);
+      EXPECT_EQ(env.Read<int64_t>(blob + ps), 7);
+    }
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+}
+
+// Ungrouped pages adapt independently: hammering one page must not change the protocol of a
+// quiet page from a different padded allocation.
+TEST(AdapterTest, GroupsAdaptIndependently) {
+  ClusterConfig cfg = Config(2, Pcp::kImplicitInvalidate);
+  cfg.dsm.adapt_protocols = true;
+  cfg.dsm.adapt_to_diff_threshold = 1;
+  cfg.dsm.adapt_calm_epochs = 100;  // see GroupedPagesSwitchAsAUnit
+  Cluster cluster(cfg);
+  const GlobalRef<int64_t> hot(cluster.layout().AllocPadded(sizeof(int64_t), "hot"));
+  const GlobalRef<int64_t> cold(cluster.layout().AllocPadded(sizeof(int64_t), "cold"));
+  const PageId hot_page = cluster.layout().PageOf(hot.addr());
+  const PageId cold_page = cluster.layout().PageOf(cold.addr());
+  ASSERT_NE(hot_page, cold_page);  // padded allocations own their pages
+  core::RunReport r = cluster.Run([&](NodeEnv& env) {
+    for (int iter = 0; iter < 3; ++iter) {
+      if (env.node() == 1) {
+        hot.Write(env, iter);
+      }
+      env.Barrier();
+    }
+    if (env.node() == 1) {
+      EXPECT_EQ(env.runtime().dsm().page_pcp(hot_page), Pcp::kDiff);
+    }
+    EXPECT_EQ(env.runtime().dsm().page_pcp(cold_page), Pcp::kImplicitInvalidate)
+        << "an untouched group must keep the base protocol";
+    env.Barrier();
+  });
+  ASSERT_TRUE(r.completed) << r.deadlock_report;
+}
+
+// --- Padding allocator through the seam ------------------------------------------------------
+
+TEST(LayoutSeamTest, PaddedAllocationsStartOnAPageBoundary) {
+  GlobalLayout layout;
+  GlobalAddr a = layout.AllocPadded(100, "a");
+  GlobalAddr b = layout.AllocPadded(1, "b");
+  EXPECT_EQ(a % layout.page_size(), 0u);
+  EXPECT_EQ(b % layout.page_size(), 0u);
+  // Even a 1-byte padded allocation owns its whole page.
+  EXPECT_EQ(layout.PageOf(b) - layout.PageOf(a), 1u);
+}
+
+TEST(LayoutSeamTest, SmallPagesKeepPaddingInvariant) {
+  GlobalLayout layout(/*page_shift=*/9);
+  GlobalAddr a = layout.AllocPadded(513, "a");  // one byte over a page: must take two pages
+  GlobalAddr b = layout.AllocPadded(1, "b");
+  EXPECT_EQ(layout.PageOf(b) - layout.PageOf(a), 2u);
+  EXPECT_EQ(b % layout.page_size(), 0u);
+}
+
+}  // namespace
+}  // namespace dfil::dsm

@@ -16,10 +16,14 @@ namespace {
 constexpr const char* kTimeCategories[] = {"work",          "filament_exec", "data_transfer",
                                            "sync_overhead", "sync_delay",    "idle"};
 
-// Figure 9 rows: the protocol-differentiating traffic counters from the paper, plus totals.
+// Figure 9 rows: the protocol-differentiating traffic counters from the paper, plus the
+// multiple-writer diff / adapter traffic (DESIGN.md §10) and totals.
 constexpr const char* kFigure9Counters[] = {
     "dsm.page_request_messages", "net.sent.page_request",  "net.sent.bulk_page_request",
-    "net.sent.invalidate",       "net.barrier_messages",   "net.requests_sent",
+    "net.sent.invalidate",       "net.sent.diff_merge",    "dsm.diff_bytes_sent",
+    "dsm.page_data_bytes",       "dsm.adapter_switches_to_diff",
+    "dsm.adapter_switches_to_ii",
+    "net.barrier_messages",      "net.requests_sent",
     "net.replies_sent",          "net.acks_sent",          "net.retransmissions",
     "net.messages_sent",         "net.bytes_sent",
 };
