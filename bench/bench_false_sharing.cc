@@ -79,6 +79,7 @@ struct Totals {
   uint64_t diff_bytes = 0;
   uint64_t merges = 0;
   uint64_t invalidations = 0;
+  uint64_t datagrams = 0;
 };
 
 Totals Sum(const core::RunReport& report) {
@@ -89,6 +90,7 @@ Totals Sum(const core::RunReport& report) {
     t.diff_bytes += nr.dsm.diff_bytes_sent;
     t.merges += nr.dsm.diff_merges_sent;
     t.invalidations += nr.dsm.invalidations_sent;
+    t.datagrams += nr.packet.datagrams_sent;
   }
   return t;
 }
@@ -178,6 +180,8 @@ int main(int argc, char** argv) {
       {"false_sharing_diff8", dsm::Pcp::kDiff},
   };
   uint64_t gate_wi_bytes = 0, gate_diff_bytes = 0;
+  uint64_t gate_diff_datagrams = 0;
+  SimTime gate_diff_makespan = 0;
   for (const GateRun& gr : gate_runs) {
     core::ClusterConfig cfg = bench::PaperConfig(8);
     cfg.dsm.pcp = gr.pcp;
@@ -191,7 +195,31 @@ int main(int argc, char** argv) {
       gate_wi_bytes = t.page_data_bytes;
     } else if (gr.pcp == dsm::Pcp::kDiff) {
       gate_diff_bytes = t.page_data_bytes;
+      gate_diff_datagrams = t.datagrams;
+      gate_diff_makespan = run.report.makespan;
     }
+  }
+  // Coalescing ablation companion (DESIGN.md §11): the diff gate run again with per-destination
+  // frame coalescing on. Fixed-size like the other gate inputs; its net.datagrams_sent is pinned
+  // by bench/baselines/coalesce_gate.json, and the asserts keep the headline claim honest: at
+  // least 30% fewer UDP datagrams at no virtual-time cost.
+  {
+    core::ClusterConfig cfg = bench::PaperConfig(8);
+    cfg.dsm.pcp = dsm::Pcp::kDiff;
+    cfg.coalesce.enabled = true;
+    const FsResult run = RunFalseSharing(cfg, pages, gate_epochs);
+    const Totals t = Sum(run.report);
+    std::printf("%-20s %-20s %12llu datagrams (plain diff: %llu), %8.2fs (plain: %.2fs)\n",
+                "false_sharing_diff8_co", "diff + coalesce",
+                static_cast<unsigned long long>(t.datagrams),
+                static_cast<unsigned long long>(gate_diff_datagrams), run.seconds,
+                ToSeconds(gate_diff_makespan));
+    bench::EmitMetrics(run.report, "false_sharing_diff8_co");
+    DFIL_CHECK(t.datagrams * 10 <= gate_diff_datagrams * 7)
+        << "coalescing sent " << t.datagrams << " datagrams vs " << gate_diff_datagrams
+        << " plain (< 30% reduction)";
+    DFIL_CHECK_LE(run.report.makespan, gate_diff_makespan)
+        << "coalescing regressed virtual time";
   }
   // The headline claim, asserted so a protocol regression fails the bench itself, not just the
   // downstream gate: diff moves >=30% fewer page-data bytes than write-invalidate here.

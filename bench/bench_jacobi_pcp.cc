@@ -132,5 +132,43 @@ int main(int argc, char** argv) {
     bench::EmitMetrics(run.report, mr.label);
     bench::EmitTrace(run.report, mr.label);
   }
+
+  // Coalescing ablation companion (DESIGN.md §11): the fixed-size implicit-invalidate run with
+  // and without per-destination frame coalescing. The coalesced run's net.datagrams_sent is
+  // pinned by bench/baselines/coalesce_gate.json; the asserts keep the headline claim honest:
+  // at least 30% fewer UDP datagrams at no virtual-time cost.
+  bench::Header("Coalescing ablation: jacobi_ii8 with per-destination frame coalescing");
+  auto total_datagrams = [](const core::RunReport& r) {
+    uint64_t total = 0;
+    for (const auto& nr : r.nodes) {
+      total += nr.packet.datagrams_sent;
+    }
+    return total;
+  };
+  apps::JacobiParams cp = base_params;
+  cp.iterations = 120;
+  core::ClusterConfig plain_cfg = bench::PaperConfig(8);
+  plain_cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  apps::AppRun plain = apps::RunJacobiDf(cp, plain_cfg);
+  DFIL_CHECK(plain.report.completed) << plain.report.deadlock_report;
+  core::ClusterConfig co_cfg = bench::PaperConfig(8);
+  co_cfg.dsm.pcp = dsm::Pcp::kImplicitInvalidate;
+  co_cfg.coalesce.enabled = true;
+  apps::AppRun co = apps::RunJacobiDf(cp, co_cfg);
+  DFIL_CHECK(co.report.completed) << co.report.deadlock_report;
+  const uint64_t plain_dgrams = total_datagrams(plain.report);
+  const uint64_t co_dgrams = total_datagrams(co.report);
+  std::printf("jacobi_ii8_co: %llu datagrams (plain: %llu, %+.1f%%), %.1fs (plain: %.1fs)\n",
+              static_cast<unsigned long long>(co_dgrams),
+              static_cast<unsigned long long>(plain_dgrams),
+              100.0 * (static_cast<double>(co_dgrams) - static_cast<double>(plain_dgrams)) /
+                  static_cast<double>(plain_dgrams),
+              co.seconds(), plain.seconds());
+  bench::EmitMetrics(co.report, "jacobi_ii8_co");
+  DFIL_CHECK(co_dgrams * 10 <= plain_dgrams * 7)
+      << "coalescing sent " << co_dgrams << " datagrams vs " << plain_dgrams
+      << " plain (< 30% reduction)";
+  DFIL_CHECK_LE(co.report.makespan, plain.report.makespan)
+      << "coalescing regressed virtual time";
   return 0;
 }

@@ -27,11 +27,13 @@ namespace dfil::bench {
 //   --pages=SHIFT    page size as log2 bytes (e.g. 9 = 512 B, 12 = 4 KB)
 //   --seed=N         cluster RNG seed
 //   --metrics        emit METRICS_<label>.json artifacts for runs that skip them by default
+//   --coalesce       enable per-destination frame coalescing (DESIGN.md §11)
 // Unknown --flags abort with the usage text; bare values are ignored (google-benchmark benches
 // pass their own argv through their framework first).
 struct BenchArgs {
   bool quick = false;
   bool metrics = false;
+  bool coalesce = false;
   int nodes = 0;                // 0 = bench default
   std::optional<dsm::Pcp> pcp;  // unset = bench default
   int page_shift = 0;           // 0 = bench default
@@ -48,6 +50,9 @@ struct BenchArgs {
     }
     if (seed != 0) {
       cfg.seed = seed;
+    }
+    if (coalesce) {
+      cfg.coalesce.enabled = true;
     }
   }
 
@@ -75,7 +80,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     std::fprintf(stderr,
                  "%s: unrecognized option '%s'\n"
                  "usage: %s [--quick] [--nodes=N] [--pcp=mig|wi|ii|diff] [--pages=SHIFT]"
-                 " [--seed=N] [--metrics]\n",
+                 " [--seed=N] [--metrics] [--coalesce]\n",
                  argv[0], bad.c_str(), argv[0]);
     std::exit(2);
   };
@@ -89,6 +94,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.quick = true;
     } else if (key == "--metrics") {
       args.metrics = true;
+    } else if (key == "--coalesce") {
+      args.coalesce = true;
     } else if (key == "--nodes") {
       args.nodes = std::atoi(value.c_str());
     } else if (key == "--pcp") {

@@ -176,6 +176,17 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   cfg.trace_enabled = opts.capture_trace;
   cfg.fault_plan = BuildPlan(scenario, rng, cfg.nodes);
   cfg.fault_plan.seed = rng.NextU64() | 1;
+  // Coalescing on/off dimension (DESIGN.md §11), drawn from a derived stream rather than `rng` so
+  // adding it did not reshuffle the config draws of the pre-existing (scenario, seed) corpus.
+  // With it on, every fault scenario also hits packed datagrams (dropping one is correlated loss
+  // of every frame inside), the mutual-peer hold, and the elided-ack sync-point batching.
+  Rng coalesce_rng(seed ^ HashName(scenario) ^ HashName("coalesce"));
+  if (coalesce_rng.NextBernoulli(0.5)) {
+    cfg.coalesce.enabled = true;
+    // Scale the estimator floor to the fuzz's shortened timeouts (rto_min defaults to the
+    // production 100ms fixed timeout, which would pin every estimated RTO at the 40ms max here).
+    cfg.packet.rto_min = cfg.packet.retransmit_timeout;
+  }
 
   dsm::CoherenceOracle oracle;
   cfg.coherence_oracle = &oracle;
@@ -229,6 +240,7 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   desc << " pcp=" << dsm::PcpName(cfg.dsm.pcp) << " nodes=" << cfg.nodes
        << " ps=" << cfg.page_shift << (cfg.dsm.prefetch_detector ? " prefetch" : "")
        << (cfg.dsm.adapt_protocols ? " adapt" : "")
+       << (cfg.coalesce.enabled ? " coalesce" : "")
        << (cfg.barrier == core::ClusterConfig::BarrierKind::kCentral ? " central" : " tournament");
   result.config_desc = desc.str();
 

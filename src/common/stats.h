@@ -120,6 +120,7 @@ struct DsmStats {
   uint64_t diff_merges_applied = 0;        // merge messages applied at this home node
   uint64_t diff_pages_merged = 0;          // pages patched by applied merges
   uint64_t diff_stale_merges_ignored = 0;  // duplicate / old-epoch merges skipped (idempotence)
+  uint64_t diff_bulk_refetches = 0;        // sync-batch flush sets re-fetched via bulk requests
   uint64_t adapter_switches_to_diff = 0;   // page groups this owner flipped implicit-inv -> diff
   uint64_t adapter_switches_to_ii = 0;     // page groups flipped back after calm epochs
 

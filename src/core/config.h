@@ -41,6 +41,10 @@ struct ClusterConfig {
 
   dsm::DsmConfig dsm;
   net::PacketConfig packet;
+  // Per-destination frame coalescing with piggybacked acks and batched sync-point traffic
+  // (DESIGN.md §11). Off by default; disabled runs are byte- and schedule-identical to builds
+  // without the feature.
+  net::CoalesceConfig coalesce;
   // DSM page size (log2). 12 = the 4 KB SunOS pages of the paper.
   size_t page_shift = 12;
 

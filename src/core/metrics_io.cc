@@ -43,6 +43,7 @@ MetricsRegistry FlattenNode(const NodeReport& nr) {
   m.Set("dsm.diff_merges_applied", d.diff_merges_applied);
   m.Set("dsm.diff_pages_merged", d.diff_pages_merged);
   m.Set("dsm.diff_stale_merges_ignored", d.diff_stale_merges_ignored);
+  m.Set("dsm.diff_bulk_refetches", d.diff_bulk_refetches);
   m.Set("dsm.adapter_switches_to_diff", d.adapter_switches_to_diff);
   m.Set("dsm.adapter_switches_to_ii", d.adapter_switches_to_ii);
   m.Set("dsm.page_data_bytes", d.page_data_bytes);
@@ -60,6 +61,11 @@ MetricsRegistry FlattenNode(const NodeReport& nr) {
   m.Set("net.raw_sent", p.raw_sent);
   m.Set("net.replies_first_serve", p.replies_first_serve);
   m.Set("net.replies_rebuilt", p.replies_rebuilt);
+  m.Set("net.datagrams_sent", p.datagrams_sent);
+  m.Set("net.wire_bytes", p.wire_bytes);
+  m.Set("net.frames_coalesced", p.frames_coalesced);
+  m.Set("net.replies_elided", p.replies_elided);
+  m.Set("net.requests_canceled", p.requests_canceled);
   for (const auto& [svc, count] : nr.sent_by_service) {
     m.Set(std::string("net.sent.") + net::ServiceName(static_cast<net::Service>(svc)), count);
   }

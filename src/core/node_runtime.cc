@@ -58,6 +58,7 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   packet_->in_critical_section = [this] { return in_critical_; };
   packet_->set_tracer(&tracer_);
   packet_->set_metrics(&metrics_);
+  packet_->set_coalesce(config_.coalesce);
 
   dsm::DsmNode::Hooks hooks;
   hooks.charge = [this](TimeCategory c, SimTime t) { Charge(c, t); };
@@ -95,8 +96,27 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
       WakeAtTail(t);
     }
   };
+  dsm::DsmConfig dsm_cfg = config_.dsm;
+  if (config_.coalesce.enabled && config_.coalesce.sync_batch) {
+    // Sync-batch mode: the DSM learns this node's barrier parent so the diff protocol can gate
+    // the merge it sends there (ack elided, retransmission canceled by the done broadcast) and
+    // the transport can pack it with the reduce-up of the same sync point. The dissemination
+    // barrier has no parent/done structure, so gating stays off there.
+    dsm_cfg.coalesce_sync_batch = true;
+    switch (config_.barrier) {
+      case ClusterConfig::BarrierKind::kTournamentBroadcast:
+        dsm_cfg.barrier_parent = id_ == 0 ? kNoNode : id_ - (id_ & -id_);
+        break;
+      case ClusterConfig::BarrierKind::kCentral:
+        dsm_cfg.barrier_parent = id_ == 0 ? kNoNode : 0;
+        break;
+      case ClusterConfig::BarrierKind::kDissemination:
+        dsm_cfg.barrier_parent = kNoNode;
+        break;
+    }
+  }
   dsm_ = std::make_unique<dsm::DsmNode>(id_, layout, packet_.get(), &machine_->costs(),
-                                        config_.dsm, std::move(hooks));
+                                        dsm_cfg, std::move(hooks));
 #ifndef DFIL_DISABLE_COHERENCE_ORACLE
   if (config_.coherence_oracle != nullptr) {
     dsm_->AttachOracle(config_.coherence_oracle);
@@ -316,11 +336,36 @@ void NodeRuntime::RegisterReduceServices() {
         const auto epoch = body.Get<uint64_t>();
         const auto round = body.Get<int32_t>();
         const auto value = body.Get<double>();
+        if (body.remaining() >= sizeof(uint64_t)) {
+          // Piggybacked gated-merge epoch: the sender's diff flush travels unacked in the same
+          // datagram (or an earlier one). Defer the contribution until that merge has been
+          // applied here, so the champion's quiescent sweep still sees every merge even when
+          // injected reordering or duplication splits the pair.
+          const auto merge_epoch = body.Get<uint64_t>();
+          if (merge_epoch > dsm_->DiffAppliedEpoch(src)) {
+            return std::nullopt;
+          }
+        }
+        const bool elide = config_.coalesce.enabled && config_.coalesce.elide_reduce_replies &&
+                           config_.barrier != ClusterConfig::BarrierKind::kDissemination;
+        if (elide && last_done_epoch_ >= epoch) {
+          // A retransmission of a contribution this barrier already consumed (its elided ack was
+          // lost on the sender): answer with the done value directly, standing in for the
+          // broadcast the sender evidently also missed.
+          net::WireWriter w;
+          w.Put(epoch);
+          w.Put(last_done_value_);
+          return w.Take();
+        }
         reduce_inbox_[{epoch, round, src}] = value;
         if (reduce_waiter_ != nullptr) {
           threads::ServerThread* t = reduce_waiter_;
           reduce_waiter_ = nullptr;
           WakeAtTail(t);
+        }
+        if (elide) {
+          // The done broadcast is the real ack of a reduce-up; skip the empty reply datagram.
+          packet_->ElideCurrentReply();
         }
         return net::Payload{};
       },
@@ -330,6 +375,23 @@ void NodeRuntime::RegisterReduceServices() {
     const auto epoch = body.Get<uint64_t>();
     const auto value = body.Get<double>();
     reduce_done_[epoch] = value;
+    // Only a NEW done may consume the unacked sync-point requests. Under loss a done arrives
+    // again — a duplicated raw broadcast, or the reliable done request retransmitted because our
+    // reply to it was lost re-runs this handler — and by then this node may already be a barrier
+    // ahead, with the next epoch's reduce-up and gated merge in flight. A stale done proves
+    // nothing about those; canceling them here would stop the very retransmissions that recover
+    // their loss (the parent defers our up until the merge lands, so the run would wedge at the
+    // retransmission limit).
+    if (epoch > last_done_epoch_) {
+      last_done_epoch_ = epoch;
+      last_done_value_ = value;
+      if (pending_up_req_ != 0) {
+        // The done proves our contribution was combined; stop retransmitting the (unacked) up.
+        packet_->CancelRequest(pending_up_req_);
+        pending_up_req_ = 0;
+      }
+      dsm_->OnBarrierDone();
+    }
     if (reduce_waiter_ != nullptr) {
       threads::ServerThread* t = reduce_waiter_;
       reduce_waiter_ = nullptr;
@@ -418,8 +480,40 @@ void NodeRuntime::SendReduceValue(NodeId dst, uint64_t epoch, int round, double 
   w.Put(epoch);
   w.Put(static_cast<int32_t>(round));
   w.Put(value);
-  packet_->SendRequest(dst, net::Service::kReduceUp, w.Take(), nullptr,
-                       TimeCategory::kSyncOverhead);
+  if (config_.coalesce.enabled && config_.coalesce.sync_batch) {
+    // Piggyback the epoch of the still-unacked gated diff merge (it rides to the same parent,
+    // held in the same datagram): the receiver defers this contribution until the merge applies.
+    if (const uint64_t merge_epoch = dsm_->PendingGatedMergeEpoch(); merge_epoch != 0) {
+      w.Put(merge_epoch);
+    }
+  }
+  const bool elide = config_.coalesce.enabled && config_.coalesce.elide_reduce_replies &&
+                     config_.barrier != ClusterConfig::BarrierKind::kDissemination;
+  const uint64_t req = packet_->SendRequest(
+      dst, net::Service::kReduceUp, w.Take(),
+      [this](net::Payload reply) {
+        pending_up_req_ = 0;
+        if (reply.empty()) {
+          return;  // plain ack (elision off, or the parent had not seen done yet)
+        }
+        // Done-carrying reply: the parent answered a retransmitted up with the barrier result.
+        net::WireReader r(reply);
+        const auto epoch = r.Get<uint64_t>();
+        const auto value = r.Get<double>();
+        reduce_done_[epoch] = value;
+        last_done_epoch_ = epoch;
+        last_done_value_ = value;
+        dsm_->OnBarrierDone();
+        if (reduce_waiter_ != nullptr) {
+          threads::ServerThread* t = reduce_waiter_;
+          reduce_waiter_ = nullptr;
+          WakeAtTail(t);
+        }
+      },
+      TimeCategory::kSyncOverhead);
+  if (elide) {
+    pending_up_req_ = req;  // canceled when the done broadcast arrives
+  }
 }
 
 // The paper's barrier (§4.5, [HFM88]): tournament ascent, single broadcast descent. O(p)
@@ -453,6 +547,8 @@ double NodeRuntime::ReduceTournament(uint64_t epoch, double value, ReduceOp op) 
   } else {
     packet_->BroadcastRaw(net::Service::kReduceDone, w.Take(), TimeCategory::kSyncOverhead);
   }
+  last_done_epoch_ = epoch;  // children's retransmitted ups are answered with the result directly
+  last_done_value_ = accum;
   return accum;
 }
 
@@ -503,6 +599,8 @@ double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
   } else {
     packet_->BroadcastRaw(net::Service::kReduceDone, w.Take(), TimeCategory::kSyncOverhead);
   }
+  last_done_epoch_ = epoch;  // children's retransmitted ups are answered with the result directly
+  last_done_value_ = accum;
   return accum;
 }
 

@@ -175,6 +175,11 @@ class NodeRuntime final : public sim::NodeHost {
   std::map<uint64_t, double> reduce_done_;                   // epoch -> disseminated result
   threads::ServerThread* reduce_waiter_ = nullptr;
   threads::ServerThread* drain_waiter_ = nullptr;
+  // Coalescing sync-batch state: the unacked (elided-ack) reduce-up awaiting the done broadcast,
+  // and the last disseminated result — the answer given to retransmitted ups after done.
+  uint64_t pending_up_req_ = 0;
+  uint64_t last_done_epoch_ = 0;
+  double last_done_value_ = 0;
 
   // Channels: (src, tag) -> queued payloads / waiting receiver.
   struct Channel {

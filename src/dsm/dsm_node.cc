@@ -112,7 +112,18 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
       /*idempotent=*/true, TimeCategory::kDataTransfer);
   packet_->RegisterService(
       net::Service::kDiffMerge,
-      [this](NodeId src, net::WireReader body) { return diff_->ServeMerge(src, body); },
+      [this](NodeId src, net::WireReader body) {
+        return diff_->ServeMerge(src, body, /*gated=*/false);
+      },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
+  // Gated variant (coalescing sync-batch mode): same apply path, but the ack is elided — the
+  // barrier done broadcast stands in for it. A separate service number keeps the stale path
+  // (which returns before parsing any page) able to tell the two apart.
+  packet_->RegisterService(
+      net::Service::kDiffMergeGated,
+      [this](NodeId src, net::WireReader body) {
+        return diff_->ServeMerge(src, body, /*gated=*/true);
+      },
       /*idempotent=*/true, TimeCategory::kDataTransfer);
 
   protocols_[static_cast<size_t>(Pcp::kMigratory)] = std::make_unique<MigratoryProtocol>(*this);
@@ -675,10 +686,14 @@ void DsmNode::SendBulkRequest(PageId first, uint16_t count, NodeId target) {
   TraceContext trace_ctx(hooks_.tracer, flow);
   net::WireWriter w;
   w.Put(BulkRequestBody{first, count, AccessMode::kRead});
+  // Upper bound on the reply: every requested page served full-size. Sizes the RTT estimator's
+  // serialization floor so a long bulk reply is never mistaken for a loss.
+  const size_t expected_reply =
+      sizeof(BulkReplyHeader) + count * (sizeof(PageBlockHeader) + layout_->page_size());
   packet_->SendRequest(
       target, net::Service::kBulkPageRequest, w.Take(),
       [this](net::Payload reply) { OnBulkReply(std::move(reply)); },
-      TimeCategory::kDataTransfer);
+      TimeCategory::kDataTransfer, expected_reply);
 }
 
 std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReader body) {
@@ -718,7 +733,12 @@ std::optional<net::Payload> DsmNode::ServeBulkRequest(NodeId src, net::WireReade
       e.state = PageState::kReadOnly;  // owner downgrades and tracks the copy, as for any read
       e.copyset |= Bit(src);
     }
-    w.Put(PageBlockHeader{p, 0});
+    // Bit 0 of the copyset field doubles as the diff tag in coalescing sync-batch mode: the home
+    // marks served diff-mode pages so a flush-set bulk refetch installs twin-eligible copies.
+    // Only set when sync-batch is on, so off-mode bulk replies stay byte-identical.
+    const uint64_t diff_tag =
+        (config_.coalesce_sync_batch && page_pcp(p) == Pcp::kDiff) ? 1 : 0;
+    w.Put(PageBlockHeader{p, diff_tag});
     w.PutBytes(replica_.data() + (static_cast<GlobalAddr>(p) << layout_->page_shift()), ps);
     DFIL_ORACLE(OnServeRead(self_, src, p));
   }
@@ -746,7 +766,8 @@ void DsmNode::OnBulkReply(net::Payload reply) {
     r.GetBytes(replica_.data() + (static_cast<GlobalAddr>(block.page) << layout_->page_shift()),
                ps);
     hooks_.charge(TimeCategory::kDataTransfer, costs_->page_install);
-    FinishBulkPage(block.page, /*installed=*/true, h.owner_hint);
+    FinishBulkPage(block.page, /*installed=*/true, h.owner_hint,
+                   /*diff_copy=*/(block.copyset & 1) != 0);
   }
   for (uint16_t i = 0; i < h.nmisses; ++i) {
     const PageId p = r.Get<PageId>();
@@ -755,7 +776,7 @@ void DsmNode::OnBulkReply(net::Payload reply) {
   }
 }
 
-void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint) {
+void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint, bool diff_copy) {
   PageEntry& e = table_[page];
   DFIL_CHECK(e.fetching) << "bulk reply for page " << page << " we are not fetching";
   e.fetching = false;
@@ -771,10 +792,11 @@ void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint) {
   if (installed) {
     e.state = PageState::kReadOnly;
     e.owner = false;
-    // Bulk replies carry no diff tag, so the copy installs untagged even when the requester's
-    // adapter view says diff: a later write fault then demand-fetches a properly tagged copy
-    // (one extra round trip, never a wrong twin).
-    e.diff_copy = false;
+    // In coalescing sync-batch mode the bulk block's diff tag carries through, so a write fault
+    // on the installed copy twins in place. Otherwise bulk replies carry no tag and the copy
+    // installs untagged even when the requester's adapter view says diff: a later write fault
+    // then demand-fetches a properly tagged copy (one extra round trip, never a wrong twin).
+    e.diff_copy = diff_copy;
     e.probable_owner = owner_hint;
     e.hold_until = hooks_.clock() + config_.mirage_window;
     // Any grant record survives (see FinishFetch); harmless here since state is now kReadOnly.
@@ -856,6 +878,12 @@ void DsmNode::AtSyncPoint() {
     AdapterAtSyncPoint();
   }
 }
+
+void DsmNode::OnBarrierDone() { diff_->OnBarrierDone(); }
+
+uint64_t DsmNode::DiffAppliedEpoch(NodeId src) const { return diff_->applied_epoch(src); }
+
+uint64_t DsmNode::PendingGatedMergeEpoch() const { return diff_->pending_gated_merge_epoch(); }
 
 void DsmNode::NoteAdaptTraffic(PageId page) { adapt_[GroupRoot(page)].traffic++; }
 

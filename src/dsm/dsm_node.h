@@ -108,6 +108,15 @@ struct DsmConfig {
   bool adapt_protocols = false;
   uint32_t adapt_to_diff_threshold = 3;
   uint32_t adapt_calm_epochs = 2;
+
+  // --- Sync-point traffic batching (extension; DESIGN.md §11) ---
+  // Set by the runtime from ClusterConfig::coalesce.{enabled,sync_batch}: diff flush sets are
+  // re-fetched with bulk requests, bulk replies carry the diff tag, and the merge to
+  // `barrier_parent` goes out gated (ack elided; it piggybacks on the reduce-up frame).
+  bool coalesce_sync_batch = false;
+  // This node's parent in the reduction tree (kNoNode = no gating: root node, or a barrier kind
+  // without a fixed parent, e.g. dissemination).
+  NodeId barrier_parent = kNoNode;
 };
 
 struct PageEntry {
@@ -209,6 +218,18 @@ class DsmNode {
   // implicit-invalidate this discards all read-only copies — no messages are sent.
   void AtSyncPoint();
 
+  // Called when the barrier's done signal arrives (coalescing sync-batch mode): cancels the
+  // retransmission of the gated diff merge — the done broadcast proves the parent applied it.
+  void OnBarrierDone();
+
+  // Highest diff-flush epoch this node has applied from `src` (home side). The reduce tree uses
+  // it to defer a child's arrival until the child's gated merge has landed.
+  uint64_t DiffAppliedEpoch(NodeId src) const;
+
+  // Epoch of the gated merge still awaiting the done signal (0 = none). Piggybacked on the
+  // reduce-up message so the parent can order merge-apply before arrival.
+  uint64_t PendingGatedMergeEpoch() const;
+
   // Outstanding page fetches; a node delays at synchronization points until this reaches zero.
   int pending_fetches() const { return pending_fetches_; }
 
@@ -290,7 +311,8 @@ class DsmNode {
   void OnBulkReply(net::Payload reply);
 
   // Completes one page of a bulk fetch (no group logic: bulk runs cover ungrouped pages only).
-  void FinishBulkPage(PageId page, bool installed, NodeId owner_hint);
+  // `diff_copy` installs the page as a multiple-writer copy (from the block's diff tag).
+  void FinishBulkPage(PageId page, bool installed, NodeId owner_hint, bool diff_copy = false);
 
   // Marks a present page as touched; discarding an untouched prefetched copy counts as waste.
   // Also retires the use-once hold: a page fetched for blocked faulters becomes servable again

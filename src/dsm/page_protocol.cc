@@ -90,6 +90,13 @@ void ImplicitInvalidateProtocol::OnSyncPoint() {
 
 // --- Diff (multiple-writer) --------------------------------------------------------------------
 
+FaultResult DiffProtocol::OnReadFault(PageId page) {
+  if (MaybeBulkRefetch(page)) {
+    return FaultResult::kStarted;
+  }
+  return StartDemandFetch(page, AccessMode::kRead);
+}
+
 FaultResult DiffProtocol::OnWriteFault(PageId page) {
   const PageEntry& e = entry(page);
   if (!e.owner && e.state == PageState::kReadOnly && e.diff_copy) {
@@ -99,9 +106,43 @@ FaultResult DiffProtocol::OnWriteFault(PageId page) {
     TwinInPlace(page);
     return FaultResult::kSatisfied;
   }
+  if (MaybeBulkRefetch(page)) {
+    // The bulk reply installs diff-tagged read copies; the woken writer re-faults and twins the
+    // page in place (the branch above), so the write still never transfers ownership.
+    return FaultResult::kStarted;
+  }
   // No usable copy: demand-fetch one from the home. A diff-mode home answers with a
   // kReplyFlagDiff copy and OnPageReply routes write faults into InstallWritableCopy.
   return StartDemandFetch(page, AccessMode::kWrite);
+}
+
+bool DiffProtocol::MaybeBulkRefetch(PageId page) {
+  if (!node_.config_.coalesce_sync_batch || last_flush_sets_.empty()) {
+    return false;
+  }
+  for (auto it = last_flush_sets_.begin(); it != last_flush_sets_.end(); ++it) {
+    const std::set<PageId>& pages = it->second;
+    if (pages.count(page) == 0) {
+      continue;
+    }
+    // The whole set this node flushed to `it->first` last epoch is about to be re-read; fetch it
+    // back in maximal contiguous runs (std::set iterates sorted). StartBulkFetch skips pages that
+    // are present, fetching, grouped, or owned here, so overlap with other traffic is safe.
+    std::vector<PageId> sorted(pages.begin(), pages.end());
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t j = i + 1;
+      while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1) {
+        ++j;
+      }
+      node_.StartBulkFetch(sorted[i], static_cast<int>(j - i));
+      i = j;
+    }
+    last_flush_sets_.erase(it);  // one-shot: a second fault must not re-issue the sweep
+    node_.stats_.diff_bulk_refetches++;
+    return node_.table_[page].fetching;
+  }
+  return false;
 }
 
 std::optional<net::Payload> DiffProtocol::OnRemoteRequest(NodeId src, PageId page, AccessMode mode,
@@ -208,10 +249,30 @@ void DiffProtocol::FlushTwins() {
     const uint64_t flow = node_.hooks_.tracer != nullptr ? node_.hooks_.tracer->NewTraceId() : 0;
     merges.push_back(Merge{home, w.Take(), flow});
   }
-  // Count every merge as an outstanding fetch BEFORE sending any: a send's time charge can
+  // Sync-batch mode: remember what was flushed where — the next epoch's first fault into a set
+  // re-fetches the whole set with bulk requests instead of RTT-chained single-page faults.
+  if (node_.config_.coalesce_sync_batch) {
+    last_flush_sets_.clear();
+    for (const auto& [p, twin] : twins_) {
+      last_flush_sets_[node_.table_[p].probable_owner].insert(p);
+    }
+  }
+  // The merge to the barrier parent goes out gated: its ack is elided (the done broadcast stands
+  // in), it does not count as an outstanding fetch, and the transport holds its frame so it packs
+  // with the reduce-up of the same sync point.
+  const bool gating =
+      node_.config_.coalesce_sync_batch && node_.config_.barrier_parent != kNoNode;
+  auto is_gated = [&](const Merge& m) { return gating && m.home == node_.config_.barrier_parent; };
+  // Count every acked merge as an outstanding fetch BEFORE sending any: a send's time charge can
   // dispatch pending events (even this flush's own ack), and a premature zero crossing would
   // release the barrier's drain wait while merges are still unacknowledged.
-  node_.pending_fetches_ += static_cast<int>(merges.size());
+  int acked_merges = 0;
+  for (const Merge& m : merges) {
+    if (!is_gated(m)) {
+      ++acked_merges;
+    }
+  }
+  node_.pending_fetches_ += acked_merges;
   const uint64_t epoch = flush_epoch_;
   for (Merge& m : merges) {
     node_.stats_.diff_merges_sent++;
@@ -219,6 +280,15 @@ void DiffProtocol::FlushTwins() {
       tr->Flow(kFlowStart, "dsm", "diff e" + std::to_string(epoch), m.flow);
     }
     TraceContext trace_ctx(node_.hooks_.tracer, m.flow);
+    if (is_gated(m)) {
+      DFIL_CHECK_EQ(gated_merge_req_, uint64_t{0})
+          << "gated merge of epoch " << gated_merge_epoch_ << " still pending";
+      gated_merge_epoch_ = epoch;
+      gated_merge_req_ = node_.packet_->SendRequest(m.home, net::Service::kDiffMergeGated,
+                                                    std::move(m.payload), /*on_reply=*/nullptr,
+                                                    TimeCategory::kDataTransfer);
+      continue;
+    }
     node_.packet_->SendRequest(
         m.home, net::Service::kDiffMerge, std::move(m.payload),
         [this, epoch, flow = m.flow](net::Payload) {
@@ -243,11 +313,17 @@ void DiffProtocol::FlushTwins() {
   twins_.clear();
 }
 
-std::optional<net::Payload> DiffProtocol::ServeMerge(NodeId src, net::WireReader body) {
+std::optional<net::Payload> DiffProtocol::ServeMerge(NodeId src, net::WireReader body,
+                                                     bool gated) {
   const auto h = body.Get<net::DiffMergeHeader>();
   TraceSpan apply_span(node_.hooks_.tracer, "dsm", "diff_apply e", h.epoch);
   if (NodeTracer* tr = node_.tracer(); tr != nullptr) {
     tr->Flow(kFlowStep, "dsm", "diff e" + std::to_string(h.epoch), tr->current());
+  }
+  // A gated merge's ack is elided: the sender treats the barrier done broadcast (which this node
+  // only sends after applying the merge) as the acknowledgment.
+  if (gated) {
+    node_.packet_->ElideCurrentReply();
   }
   const auto it = applied_epoch_.find(src);
   if (it != applied_epoch_.end() && h.epoch <= it->second) {
@@ -290,6 +366,15 @@ std::optional<net::Payload> DiffProtocol::ServeMerge(NodeId src, net::WireReader
     node_.stats_.diff_merges_applied++;
   }
   return net::Payload{};  // empty ack; the sender's barrier drain waits on it
+}
+
+void DiffProtocol::OnBarrierDone() {
+  if (gated_merge_req_ != 0) {
+    // The done broadcast proves the parent applied (or durably recorded) our gated merge; stop
+    // retransmitting it.
+    node_.packet_->CancelRequest(gated_merge_req_);
+    gated_merge_req_ = 0;
+  }
 }
 
 }  // namespace dfil::dsm

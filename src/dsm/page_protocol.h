@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "src/common/types.h"
@@ -139,6 +140,7 @@ class DiffProtocol final : public PageProtocol {
   using PageProtocol::PageProtocol;
   Pcp pcp() const override { return Pcp::kDiff; }
   bool TransfersOwnership(AccessMode) const override { return false; }
+  FaultResult OnReadFault(PageId page) override;
   FaultResult OnWriteFault(PageId page) override;
   std::optional<net::Payload> OnRemoteRequest(NodeId src, PageId page, AccessMode mode,
                                               uint32_t fault_seq) override;
@@ -148,16 +150,36 @@ class DiffProtocol final : public PageProtocol {
   // writable (non-owner) diff copy; used when a write fault was answered with a diff-tagged copy.
   void InstallWritableCopy(PageId page);
 
-  // Home side: applies one kDiffMerge message (idempotently, keyed by (sender, epoch)).
-  std::optional<net::Payload> ServeMerge(NodeId src, net::WireReader body);
+  // Home side: applies one kDiffMerge message (idempotently, keyed by (sender, epoch)). `gated`
+  // (the kDiffMergeGated service) elides the ack: the barrier done broadcast stands in for it.
+  std::optional<net::Payload> ServeMerge(NodeId src, net::WireReader body, bool gated = false);
 
   bool HasTwin(PageId page) const { return twins_.count(page) != 0; }
+
+  // --- Coalescing sync-batch support (config_.coalesce_sync_batch) ---
+
+  // Highest flush epoch applied from `src` (0 = none).
+  uint64_t applied_epoch(NodeId src) const {
+    const auto it = applied_epoch_.find(src);
+    return it == applied_epoch_.end() ? 0 : it->second;
+  }
+  // Epoch of the gated merge still awaiting the barrier done signal (0 = none).
+  uint64_t pending_gated_merge_epoch() const {
+    return gated_merge_req_ != 0 ? gated_merge_epoch_ : 0;
+  }
+  // The done signal arrived: the parent has applied our gated merge, stop retransmitting it.
+  void OnBarrierDone();
 
  private:
   // Copies the page into a fresh twin and promotes the entry to kReadWrite in place.
   void TwinInPlace(PageId page);
   // Encodes and sends all twins (one kDiffMerge per home node), then drops the flushed copies.
   void FlushTwins();
+  // Sync-batch mode: a fault on a page this node flushed last epoch re-fetches the whole
+  // per-home flush set with bulk requests (one datagram per contiguous run) instead of paging it
+  // back one RTT-chained request at a time. One-shot per flush set. Returns true when the
+  // faulted page itself is now fetching.
+  bool MaybeBulkRefetch(PageId page);
 
   // Twinned pages, ordered so flush batches and message contents are deterministic.
   std::map<PageId, std::vector<std::byte>> twins_;
@@ -167,6 +189,12 @@ class DiffProtocol final : public PageProtocol {
   // Home side: last epoch applied per sender; retransmissions and delayed duplicates of an
   // already-applied flush are skipped (the empty ack is still rebuilt).
   std::map<NodeId, uint64_t> applied_epoch_;
+  // Sync-batch mode: pages flushed at the last sync point, per home — the next epoch's expected
+  // re-fetch footprint. Consumed (erased) by the first fault into each set.
+  std::map<NodeId, std::set<PageId>> last_flush_sets_;
+  // The request id and epoch of the gated merge sent to the barrier parent (0 = none pending).
+  uint64_t gated_merge_req_ = 0;
+  uint64_t gated_merge_epoch_ = 0;
 };
 
 }  // namespace dfil::dsm

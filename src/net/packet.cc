@@ -17,6 +17,8 @@ const char* ServiceName(Service service) {
       return "bulk_page_request";
     case Service::kDiffMerge:
       return "diff_merge";
+    case Service::kDiffMergeGated:
+      return "diff_merge_gated";
     case Service::kReduceUp:
       return "reduce_up";
     case Service::kReduceDone:
@@ -54,6 +56,14 @@ PacketEndpoint::~PacketEndpoint() {
   for (auto& [id, rep] : pending_replies_) {
     rep.timer.Cancel();
   }
+  for (auto& [dst, q] : queues_) {
+    if (q.hold_armed) {
+      q.hold_timer.Cancel();
+    }
+  }
+  if (flush_event_pending_) {
+    flush_event_.Cancel();
+  }
 }
 
 void PacketEndpoint::RegisterService(Service service, ServiceFn fn, bool idempotent,
@@ -77,11 +87,19 @@ void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t r
   static_assert(static_cast<uint8_t>(Kind::kReply) == static_cast<uint8_t>(sim::MsgClass::kReply));
   static_assert(static_cast<uint8_t>(Kind::kRaw) == static_cast<uint8_t>(sim::MsgClass::kRaw));
   static_assert(static_cast<uint8_t>(Kind::kAck) == static_cast<uint8_t>(sim::MsgClass::kAck));
+  static_assert(static_cast<uint8_t>(Kind::kPacked) ==
+                static_cast<uint8_t>(sim::MsgClass::kPacked));
+  if (coalesce_.enabled) {
+    // Critical frame: queued, then flushed by the same-clock flush event (or MTU pressure).
+    Enqueue(dst, kind, service, req_id, body, charge_as, trace, /*held=*/false, 0);
+    return;
+  }
   charge_(charge_as, machine_->costs().msg_send_overhead);
   sent_by_service_[static_cast<uint16_t>(service)]++;
   WireWriter w;
   w.Put(Header{kind, static_cast<uint16_t>(service), req_id, trace});
   w.PutBytes(body.data(), body.size());
+  RecordDatagram(w.size(), 1);
   sim::Datagram d;
   d.src = self_;
   d.dst = dst;
@@ -92,8 +110,181 @@ void PacketEndpoint::Transmit(NodeId dst, Kind kind, Service service, uint64_t r
   machine_->Send(std::move(d), clock_());
 }
 
+namespace {
+// A packed frame on the wire: a uint32 length prefix, then a full legacy Header + body.
+constexpr size_t kFrameLenBytes = sizeof(uint32_t);
+}  // namespace
+
+void PacketEndpoint::Enqueue(NodeId dst, Kind kind, Service service, uint64_t req_id,
+                             const Payload& body, TimeCategory charge_as, uint64_t trace,
+                             bool held, SimTime hold_for) {
+  DstQueue& q = queues_[dst];
+  const size_t frame_bytes = kFrameLenBytes + sizeof(Header) + body.size();
+  // MTU flush: packing this frame would overflow the datagram, so flush what is queued first.
+  // A single frame bigger than the MTU still goes out (as a singleton legacy datagram).
+  if (q.bytes > 0 && sizeof(Header) + q.bytes + frame_bytes > coalesce_.max_datagram_bytes) {
+    FlushQueue(dst);
+  }
+  const bool was_empty = (q.bytes == 0);
+  // The first frame into an empty queue pays the full send overhead; later frames only the
+  // marginal pack cost. Logical per-service message counts are unchanged by coalescing.
+  charge_(charge_as, was_empty ? machine_->costs().msg_send_overhead
+                               : machine_->costs().coalesce_frame_send);
+  if (!was_empty) {
+    stats_.frames_coalesced++;
+  }
+  sent_by_service_[static_cast<uint16_t>(service)]++;
+  q.bytes += frame_bytes;
+  QueuedFrame frame{kind, service, req_id, body, trace};
+  if (held) {
+    q.held.push_back(std::move(frame));
+    if (!q.hold_armed) {
+      q.hold_armed = true;
+      q.hold_timer = machine_->ScheduleTimer(self_, clock_() + hold_for, [this, dst] {
+        charge_(TimeCategory::kSyncOverhead, machine_->costs().timer_overhead);
+        Flush(dst);
+      });
+    }
+  } else {
+    q.batch.push_back(std::move(frame));
+    ScheduleFlushEvent();
+  }
+}
+
+bool PacketEndpoint::ShouldHold(NodeId dst, Service service) const {
+  if (service == Service::kDiffMergeGated) {
+    return true;  // rides the reduce-up frame of the same sync point
+  }
+  if (!coalesce_.hold_requests) {
+    return false;
+  }
+  if (service != Service::kPageRequest && service != Service::kBulkPageRequest) {
+    return false;
+  }
+  // Asymmetric mutual-peer hold: only the higher-numbered node holds, so its request can ride on
+  // the reply it owes the lower-numbered peer — the peer's own request flows immediately.
+  if (self_ <= dst) {
+    return false;
+  }
+  auto it = last_req_from_.find(dst);
+  if (it == last_req_from_.end()) {
+    return false;
+  }
+  const SimTime age = clock_() - it->second;
+  // Just-served filter: a request that arrived within the last hold window has already been
+  // answered (serving is synchronous), so the peer's NEXT request — the only carrier this hold
+  // could ride on — is a full exchange period away. Holding would stall this fetch for the whole
+  // hold and still flush alone; send it now instead.
+  if (age < coalesce_.request_hold) {
+    return false;
+  }
+  return age <= coalesce_.mutual_window;
+}
+
+void PacketEndpoint::ScheduleFlushEvent() {
+  if (flush_event_pending_) {
+    return;
+  }
+  flush_event_pending_ = true;
+  // Scheduled at the current clock: Machine::Run dispatches an event due at exactly a node's
+  // clock before resuming the node, so every critical frame enqueued at this instant — however
+  // many handlers run back to back — is packed before the node executes any further.
+  flush_event_ = machine_->ScheduleTimer(self_, clock_(), [this] {
+    flush_event_pending_ = false;
+    FlushBatches();
+  });
+}
+
+void PacketEndpoint::FlushBatches() {
+  std::vector<NodeId> dsts;
+  for (auto& [dst, q] : queues_) {
+    if (!q.batch.empty()) {
+      dsts.push_back(dst);
+    }
+  }
+  for (NodeId dst : dsts) {
+    FlushQueue(dst);
+  }
+}
+
+void PacketEndpoint::Flush(NodeId dst) {
+  if (queues_.count(dst) != 0) {
+    FlushQueue(dst);
+  }
+}
+
+void PacketEndpoint::FlushQueue(NodeId dst) {
+  auto it = queues_.find(dst);
+  if (it == queues_.end()) {
+    return;
+  }
+  DstQueue& q = it->second;
+  if (q.held.empty() && q.batch.empty()) {
+    return;
+  }
+  if (q.hold_armed) {
+    q.hold_timer.Cancel();
+    q.hold_armed = false;
+  }
+  // Held frames serialize first: they were enqueued earlier in program order (e.g. a gated diff
+  // merge dispatches before the reduce-up it piggybacks on).
+  std::vector<QueuedFrame> frames = std::move(q.held);
+  frames.insert(frames.end(), std::make_move_iterator(q.batch.begin()),
+                std::make_move_iterator(q.batch.end()));
+  q.held.clear();
+  q.batch.clear();
+  q.bytes = 0;
+  SendFrames(dst, frames);
+}
+
+void PacketEndpoint::SendFrames(NodeId dst, std::vector<QueuedFrame>& frames) {
+  sim::Datagram d;
+  d.src = self_;
+  d.dst = dst;
+  WireWriter w;
+  if (frames.size() == 1) {
+    // A singleton flush uses the legacy wire format — byte-identical to an uncoalesced send.
+    QueuedFrame& f = frames[0];
+    w.Put(Header{f.kind, static_cast<uint16_t>(f.service), f.req_id, f.trace});
+    w.PutBytes(f.body.data(), f.body.size());
+    d.type = static_cast<uint32_t>(f.service);
+    d.klass = static_cast<sim::MsgClass>(f.kind);
+    d.trace = f.trace;
+  } else {
+    w.Put(Header{Kind::kPacked, 0, static_cast<uint64_t>(frames.size()), 0});
+    for (QueuedFrame& f : frames) {
+      w.Put(static_cast<uint32_t>(sizeof(Header) + f.body.size()));
+      w.Put(Header{f.kind, static_cast<uint16_t>(f.service), f.req_id, f.trace});
+      w.PutBytes(f.body.data(), f.body.size());
+    }
+    d.type = 0;
+    d.klass = sim::MsgClass::kPacked;
+    d.trace = frames[0].trace;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant("net", "coalesce " + std::to_string(frames.size()) + "f -> n" +
+                                  std::to_string(dst));
+    }
+  }
+  RecordDatagram(w.size(), frames.size());
+  d.payload = w.Take();
+  machine_->Send(std::move(d), clock_());
+}
+
+void PacketEndpoint::RecordDatagram(size_t payload_bytes, size_t nframes) {
+  stats_.datagrams_sent++;
+  size_t framed = payload_bytes + machine_->costs().frame_overhead_bytes;
+  if (framed < machine_->costs().min_frame_bytes) {
+    framed = machine_->costs().min_frame_bytes;
+  }
+  stats_.wire_bytes += framed;
+  if (metrics_ != nullptr) {
+    metrics_->Hist("net.frames_per_datagram").Record(static_cast<double>(nframes));
+    metrics_->Hist("net.bytes_per_datagram").Record(static_cast<double>(framed));
+  }
+}
+
 uint64_t PacketEndpoint::SendRequest(NodeId dst, Service service, Payload body, ReplyFn on_reply,
-                                     TimeCategory charge_as) {
+                                     TimeCategory charge_as, size_t expected_reply_bytes) {
   DFIL_CHECK_NE(dst, self_);
   const uint64_t req_id = next_req_id_++;
   Outstanding out;
@@ -101,7 +292,19 @@ uint64_t PacketEndpoint::SendRequest(NodeId dst, Service service, Payload body, 
   out.service = service;
   out.body = body;
   out.on_reply = std::move(on_reply);
-  out.timeout = config_.retransmit_timeout;
+  out.timeout = InitialTimeout(dst, expected_reply_bytes);
+  if (coalesce_.enabled &&
+      (service == Service::kDiffMerge || service == Service::kDiffMergeGated ||
+       (coalesce_.elide_reduce_replies && service == Service::kReduceUp)) &&
+      out.timeout < coalesce_.elided_ack_timeout) {
+    // Sync-point traffic: a gated merge's or reduce-up's ack is elided (the barrier done stands
+    // in, arriving an epoch later), and a plain merge's ack queues behind every peer's flush
+    // wave at the home. Keep these timers as loss backstops — an RTT-scale RTO retransmits
+    // spuriously into the very congestion that delayed the ack.
+    out.timeout = coalesce_.elided_ack_timeout;
+  }
+  out.sent_at = clock_();
+  out.expected_reply_bytes = expected_reply_bytes;
   out.attempts = 1;
   out.charge_as = charge_as;
   out.trace = CurTrace();
@@ -111,10 +314,82 @@ uint64_t PacketEndpoint::SendRequest(NodeId dst, Service service, Payload body, 
     // waiting on whenever it issues a request (a proxy for remote serve-queue pressure).
     metrics_->Hist("net.serve_queue_depth").Record(static_cast<double>(outstanding_.size() + 1));
   }
-  Transmit(dst, Kind::kRequest, service, req_id, body, charge_as, out.trace);
+  if (coalesce_.enabled && ShouldHold(dst, service)) {
+    Enqueue(dst, Kind::kRequest, service, req_id, body, charge_as, out.trace, /*held=*/true,
+            coalesce_.request_hold);
+  } else {
+    Transmit(dst, Kind::kRequest, service, req_id, body, charge_as, out.trace);
+  }
   outstanding_.emplace(req_id, std::move(out));
   ArmTimer(req_id);
   return req_id;
+}
+
+void PacketEndpoint::CancelRequest(uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  it->second.timer.Cancel();
+  outstanding_.erase(it);
+  stats_.requests_canceled++;
+}
+
+void PacketEndpoint::ElideCurrentReply() { elide_current_reply_ = true; }
+
+SimTime PacketEndpoint::InitialTimeout(NodeId dst, size_t expected_reply_bytes) const {
+  if (!coalesce_.enabled) {
+    return config_.retransmit_timeout;  // the paper's fixed timeout; schedules byte-identical
+  }
+  SimTime rto = config_.retransmit_timeout;
+  auto it = peer_rtt_.find(dst);
+  if (it != peer_rtt_.end() && it->second.valid) {
+    rto = it->second.srtt + 4 * it->second.rttvar;
+    if (rto < config_.rto_min) {
+      rto = config_.rto_min;
+    }
+    if (rto > config_.retransmit_timeout_max) {
+      rto = config_.retransmit_timeout_max;
+    }
+  }
+  if (expected_reply_bytes > 0) {
+    // A large reply can be queued behind every peer's large reply on the shared wire; an RTO
+    // learned from short exchanges would retransmit spuriously (and each retransmission rebuilds
+    // the whole reply). Floor at the worst-case fully-serialized transfer time.
+    const SimTime floor_t = machine_->costs().WireTime(expected_reply_bytes) *
+                            static_cast<SimTime>(machine_->num_nodes());
+    if (rto < floor_t) {
+      rto = floor_t;
+    }
+  }
+  return rto;
+}
+
+void PacketEndpoint::UpdateRtt(NodeId src, const Outstanding& out) {
+  if (out.attempts != 1) {
+    return;  // Karn's rule: a retransmitted exchange yields an ambiguous sample
+  }
+  const SimTime sample = clock_() - out.sent_at;
+  PeerRtt& p = peer_rtt_[src];
+  if (!p.valid) {
+    p.srtt = sample;
+    p.rttvar = sample / 2;
+    p.valid = true;
+  } else {
+    const SimTime err = sample > p.srtt ? sample - p.srtt : p.srtt - sample;
+    p.rttvar = (3 * p.rttvar + err) / 4;
+    p.srtt = (7 * p.srtt + sample) / 8;
+  }
+  if (metrics_ != nullptr) {
+    SimTime rto = p.srtt + 4 * p.rttvar;
+    if (rto < config_.rto_min) {
+      rto = config_.rto_min;
+    }
+    if (rto > config_.retransmit_timeout_max) {
+      rto = config_.retransmit_timeout_max;
+    }
+    metrics_->Hist("net.rto_us").Record(ToMicroseconds(rto));
+  }
 }
 
 void PacketEndpoint::ArmTimer(uint64_t req_id) {
@@ -157,6 +432,7 @@ void PacketEndpoint::SendRaw(NodeId dst, Service service, Payload body, TimeCate
 }
 
 void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory charge_as) {
+  // Broadcasts cannot be packed per destination; they go out immediately even when coalescing.
   stats_.raw_sent++;
   charge_(charge_as, machine_->costs().msg_send_overhead);
   sent_by_service_[static_cast<uint16_t>(service)]++;
@@ -164,6 +440,7 @@ void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory ch
   WireWriter w;
   w.Put(Header{Kind::kRaw, static_cast<uint16_t>(service), 0, trace});
   w.PutBytes(body.data(), body.size());
+  RecordDatagram(w.size(), 1);
   sim::Datagram d;
   d.src = self_;
   d.dst = sim::kBroadcastDst;
@@ -175,9 +452,45 @@ void PacketEndpoint::BroadcastRaw(Service service, Payload body, TimeCategory ch
 }
 
 void PacketEndpoint::OnDatagram(sim::Datagram d) {
+  if (coalesce_.enabled && flush_event_pending_) {
+    // Drain queued critical frames before handling this interrupt. The same-clock flush event is
+    // ordered by due time, so under back-to-back deliveries (a home node serving a request wave)
+    // it would otherwise starve behind every already-due datagram — batching each reply behind
+    // the NEXT serve's receive+serve charges and adding a per-exchange latency the direct send
+    // path never had. The real kernel finishes the sendto() before taking the next SIGIO; model
+    // that. The event stays armed and fires later as a no-op on the emptied queues.
+    FlushBatches();
+  }
   WireReader r(d.payload);
   const Header h = r.Get<Header>();
+  if (h.kind == Kind::kPacked) {
+    // Unpack and dispatch each frame in order. Unpacking is stateless, so a duplicated packed
+    // datagram re-dispatches every frame and each frame's own idempotence handling (duplicate
+    // request re-serve, duplicate reply drop) applies exactly as for singleton datagrams.
+    const size_t nframes = static_cast<size_t>(h.req_id);
+    DFIL_CHECK_GE(nframes, size_t{2}) << "packed datagram with fewer than two frames";
+    for (size_t i = 0; i < nframes; ++i) {
+      const size_t len = r.Get<uint32_t>();
+      DFIL_CHECK_GE(len, sizeof(Header)) << "corrupt packed frame";
+      Payload frame_bytes(len);
+      r.GetBytes(frame_bytes.data(), len);
+      WireReader fr(frame_bytes);
+      const Header fh = fr.Get<Header>();
+      Payload body(fr.Rest().begin(), fr.Rest().end());
+      DispatchFrame(d.src, fh, std::move(body), /*first=*/i == 0);
+    }
+    DFIL_CHECK_EQ(r.remaining(), size_t{0}) << "trailing bytes after packed frames";
+    return;
+  }
   Payload body(r.Rest().begin(), r.Rest().end());
+  DispatchFrame(d.src, h, std::move(body), /*first=*/true);
+}
+
+void PacketEndpoint::DispatchFrame(NodeId src, const Header& h, Payload body, bool first) {
+  // The first frame of a datagram pays the full receive overhead (SIGIO + syscall + copy); later
+  // frames only the marginal unpack-and-dispatch cost.
+  const SimTime recv_cost =
+      first ? machine_->costs().msg_recv_overhead : machine_->costs().coalesce_frame_recv;
   // Handlers run under the incoming message's causal trace id, so every nested send — the reply,
   // a redirect chase, an invalidation round — inherits the originating fault's id.
   TraceContext trace_ctx(tracer_, h.trace);
@@ -186,34 +499,40 @@ void PacketEndpoint::OnDatagram(sim::Datagram d) {
       auto it = services_.find(h.service);
       DFIL_CHECK(it != services_.end())
           << "node " << self_ << ": no service " << h.service;
-      charge_(it->second.recv_category, machine_->costs().msg_recv_overhead);
-      HandleRequest(d.src, h.req_id, static_cast<Service>(h.service), std::move(body));
+      charge_(it->second.recv_category, recv_cost);
+      if (coalesce_.enabled && (static_cast<Service>(h.service) == Service::kPageRequest ||
+                                static_cast<Service>(h.service) == Service::kBulkPageRequest)) {
+        last_req_from_[src] = clock_();  // drives the mutual-peer hold heuristic
+      }
+      HandleRequest(src, h.req_id, static_cast<Service>(h.service), std::move(body));
       return;
     }
     case Kind::kReply: {
       auto out = outstanding_.find(h.req_id);
       charge_(out != outstanding_.end() ? out->second.charge_as : TimeCategory::kSyncOverhead,
-              machine_->costs().msg_recv_overhead);
-      HandleReply(d.src, h.req_id, std::move(body));
+              recv_cost);
+      HandleReply(src, h.req_id, std::move(body));
       return;
     }
     case Kind::kRaw: {
       auto it = raw_handlers_.find(h.service);
       DFIL_CHECK(it != raw_handlers_.end())
           << "node " << self_ << ": no raw handler for service " << h.service;
-      charge_(it->second.recv_category, machine_->costs().msg_recv_overhead);
-      it->second.fn(d.src, std::move(body));
+      charge_(it->second.recv_category, recv_cost);
+      it->second.fn(src, std::move(body));
       return;
     }
     case Kind::kAck: {
-      charge_(TimeCategory::kSyncOverhead, machine_->costs().msg_recv_overhead);
-      auto it = pending_replies_.find({d.src, h.req_id});
+      charge_(TimeCategory::kSyncOverhead, recv_cost);
+      auto it = pending_replies_.find({src, h.req_id});
       if (it != pending_replies_.end()) {
         it->second.timer.Cancel();
         pending_replies_.erase(it);
       }
       return;
     }
+    case Kind::kPacked:
+      break;  // nested packing is not produced; fall through to the corrupt-kind check
   }
   DFIL_CHECK(false) << "corrupt packet kind";
 }
@@ -248,8 +567,10 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
     return;
   }
 
+  elide_current_reply_ = false;
   std::optional<Payload> reply = entry.fn(src, WireReader(body));
   if (!reply.has_value()) {
+    elide_current_reply_ = false;
     stats_.deferred_requests++;
     machine_->net_stats().deferred_requests++;
     return;
@@ -267,6 +588,16 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
     } else {
       stats_.replies_rebuilt++;
     }
+  }
+  if (elide_current_reply_) {
+    // The service asked for its (idempotent) reply to be suppressed: a later frame — e.g. the
+    // barrier done broadcast — carries the information instead. The request still counts as
+    // served, so a retransmission rebuilds and the requester's retransmit timer still covers
+    // loss of the standing-in frame.
+    DFIL_CHECK(entry.idempotent) << "reply elision is only valid for idempotent services";
+    elide_current_reply_ = false;
+    stats_.replies_elided++;
+    return;
   }
   if (!entry.idempotent) {
     const SimTime expires =
@@ -294,16 +625,23 @@ void PacketEndpoint::HandleRequest(NodeId src, uint64_t req_id, Service service,
 void PacketEndpoint::HandleReply(NodeId src, uint64_t req_id, Payload body) {
   if (config_.ack_replies) {
     // TCP-like mode: explicitly acknowledge every reply (duplicates included, or the replier
-    // would retransmit its buffered copy forever).
+    // would retransmit its buffered copy forever). With coalescing on the ack is held so it can
+    // piggyback on any outgoing frame to the same peer; pure-ack datagrams nearly vanish.
     stats_.acks_sent++;
-    Transmit(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead,
-             CurTrace());
+    if (coalesce_.enabled) {
+      Enqueue(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead,
+              CurTrace(), /*held=*/true, coalesce_.ack_hold);
+    } else {
+      Transmit(src, Kind::kAck, static_cast<Service>(0), req_id, {}, TimeCategory::kSyncOverhead,
+               CurTrace());
+    }
   }
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) {
     stats_.duplicate_replies++;  // late duplicate (Figure 3d); drop it
     return;
   }
+  UpdateRtt(src, it->second);
   it->second.timer.Cancel();
   ReplyFn on_reply = std::move(it->second.on_reply);
   outstanding_.erase(it);

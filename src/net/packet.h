@@ -42,6 +42,7 @@ enum class Service : uint16_t {
   kInvalidate = 2,
   kBulkPageRequest = 3,  // page-run [first, count] fetch; unowned pages come back as misses
   kDiffMerge = 4,        // multiple-writer diff flush, merged into the home node's frame
+  kDiffMergeGated = 5,   // a diff merge whose ack is elided: the barrier done broadcast stands in
   // Reductions
   kReduceUp = 10,
   kReduceDone = 11,  // raw broadcast dissemination
@@ -60,9 +61,43 @@ enum class Service : uint16_t {
 // Human-readable service name for traces and metric keys ("page_request", "reduce_up", ...).
 const char* ServiceName(Service service);
 
+// Per-destination frame coalescing (DESIGN.md §11). Off by default; when disabled the wire
+// format, charges, and message schedule are byte-identical to the uncoalesced protocol.
+struct CoalesceConfig {
+  bool enabled = false;
+  // Flush when packing one more frame would push the datagram payload past this limit (a
+  // UDP-practical MTU on the simulated network; a single oversized frame still goes out alone).
+  size_t max_datagram_bytes = 8800;
+  // How long a tolerant (held) frame may wait for a carrier before its hold timer flushes it.
+  // Sized to cover the fault skew between neighbouring nodes in a phase-locked exchange (they
+  // reach their boundary pages several ms apart); the just-served filter in ShouldHold keeps
+  // this from charging fetches whose carrier already left.
+  SimTime request_hold = Milliseconds(20.0);
+  // How long a piggybacked ack may wait (ack_replies mode only).
+  SimTime ack_hold = Milliseconds(2.0);
+  // A page/bulk request to a lower-numbered mutual peer — one that requested from us within this
+  // window — is held briefly so it can ride on our reply to that peer's next request.
+  SimTime mutual_window = Milliseconds(250.0);
+  bool hold_requests = true;  // enable the mutual-peer request hold
+  // Sync-point batching above the transport: diff flush-set bulk refetch and gated merges that
+  // piggyback on the reduce-up frame (src/dsm, src/core).
+  bool sync_batch = true;
+  // Elide reduce-up acks; the barrier done broadcast (or a done-carrying rebuilt reply) stands in.
+  bool elide_reduce_replies = true;
+  // Retransmission floor for requests whose ack is elided (gated merges, reduce-ups): their
+  // "ack" is the barrier done broadcast, which arrives an epoch-scale time later, so the timer
+  // is a loss-recovery backstop — an RTT-scale RTO would retransmit spuriously every barrier.
+  SimTime elided_ack_timeout = Milliseconds(1000.0);
+};
+
 struct PacketConfig {
   SimTime retransmit_timeout = Milliseconds(100.0);  // >> quiet RTT and transient reply queueing
   SimTime retransmit_timeout_max = Milliseconds(400.0);
+  // Lower clamp for the Jacobson/Karels estimated retransmission timeout (coalescing mode).
+  // Defaults to the legacy fixed timeout: the estimator exists to stretch the RTO on slow or
+  // congested paths, not to undercut a value the uncoalesced protocol never retransmits at —
+  // a shared-medium barrier routinely queues an ack past any quiet-time RTT estimate.
+  SimTime rto_min = Milliseconds(100.0);
   int retransmit_limit = 60;
   // How long a cached non-idempotent reply stays valid (relative to the initial timeout).
   int response_cache_timeouts = 20;
@@ -89,6 +124,12 @@ struct PacketStats {
   // rebuilds makes that loss-recovery path — and bulk-reply idempotence — observable in tests.
   uint64_t replies_first_serve = 0;
   uint64_t replies_rebuilt = 0;
+  // Wire-level accounting: one datagram may carry many logical frames when coalescing is on.
+  uint64_t datagrams_sent = 0;
+  uint64_t wire_bytes = 0;         // framed bytes on the wire (link headers + packed frames)
+  uint64_t frames_coalesced = 0;   // frames that rode an already-open datagram
+  uint64_t replies_elided = 0;     // idempotent replies suppressed (a later frame stands in)
+  uint64_t requests_canceled = 0;  // outstanding requests canceled before their reply arrived
 };
 
 // One node's endpoint of the Packet protocol.
@@ -121,9 +162,29 @@ class PacketEndpoint {
 
   // Sends a reliable request; `on_reply` runs on this node when the reply arrives. The request
   // body is buffered (it must be small; the paper's are <= 20 bytes) and retransmitted on timeout.
-  // Returns the request id.
+  // Returns the request id. `expected_reply_bytes`, when nonzero and coalescing is on, floors the
+  // initial timeout at the worst-case serialized wire time of the reply, so a bulk reply queued
+  // behind its peers on the shared wire is not spuriously retransmitted by a short estimated RTO.
   uint64_t SendRequest(NodeId dst, Service service, Payload body, ReplyFn on_reply,
-                       TimeCategory charge_as = TimeCategory::kSyncOverhead);
+                       TimeCategory charge_as = TimeCategory::kSyncOverhead,
+                       size_t expected_reply_bytes = 0);
+
+  // Cancels an outstanding request: its retransmission timer stops and a late reply is dropped as
+  // a duplicate. Used when a broader signal (the barrier done broadcast) supersedes the reply.
+  void CancelRequest(uint64_t req_id);
+
+  // Callable from inside a ServiceFn of an *idempotent* service: the reply the service is about
+  // to return is not transmitted (a later frame — e.g. the done broadcast — stands in for it).
+  // The service still counts as served, so a retransmission rebuilds normally.
+  void ElideCurrentReply();
+
+  // Flushes every queued frame (held and batched) to `dst` immediately. No-op when nothing is
+  // queued or coalescing is off.
+  void Flush(NodeId dst);
+
+  // Enables/configures coalescing. Call before traffic flows (the runtime does, at construction).
+  void set_coalesce(const CoalesceConfig& coalesce) { coalesce_ = coalesce; }
+  const CoalesceConfig& coalesce() const { return coalesce_; }
 
   // Unreliable one-shot datagrams (bare UDP semantics).
   void SendRaw(NodeId dst, Service service, Payload body,
@@ -156,7 +217,9 @@ class PacketEndpoint {
   const std::map<uint16_t, uint64_t>& sent_by_service() const { return sent_by_service_; }
 
  private:
-  enum class Kind : uint8_t { kRequest = 1, kReply = 2, kRaw = 3, kAck = 4 };
+  // kPacked marks a coalesced multi-frame datagram: Header{kPacked, 0, nframes, 0} followed by
+  // nframes x (uint32_t len, then a full legacy Header + body of `len` bytes).
+  enum class Kind : uint8_t { kRequest = 1, kReply = 2, kRaw = 3, kAck = 4, kPacked = 5 };
 
   struct Header {
     Kind kind;
@@ -172,9 +235,35 @@ class PacketEndpoint {
     ReplyFn on_reply;
     sim::EventHandle timer;
     SimTime timeout;
+    SimTime sent_at = 0;              // first-send time, for RTT sampling (Karn's rule)
+    size_t expected_reply_bytes = 0;  // floors the estimated RTO (see SendRequest)
     int attempts;
     TimeCategory charge_as;
     uint64_t trace = 0;  // re-stamped on retransmissions
+  };
+
+  // One logical message waiting in a per-destination coalescing queue.
+  struct QueuedFrame {
+    Kind kind;
+    Service service;
+    uint64_t req_id;
+    Payload body;
+    uint64_t trace;
+  };
+
+  struct DstQueue {
+    std::vector<QueuedFrame> held;   // tolerant frames: wait for a carrier or their hold timer
+    std::vector<QueuedFrame> batch;  // critical frames: flushed by the same-clock flush event
+    size_t bytes = 0;                // serialized frame bytes queued (excluding the outer header)
+    sim::EventHandle hold_timer;
+    bool hold_armed = false;
+  };
+
+  // Jacobson/Karels per-peer RTT estimate (srtt/rttvar in SimTime units).
+  struct PeerRtt {
+    SimTime srtt = 0;
+    SimTime rttvar = 0;
+    bool valid = false;
   };
 
   struct ServiceEntry {
@@ -195,6 +284,30 @@ class PacketEndpoint {
 
   void Transmit(NodeId dst, Kind kind, Service service, uint64_t req_id, const Payload& body,
                 TimeCategory charge_as, uint64_t trace);
+  // Coalescing send path: queues the frame to `dst` (charging send overhead for the first frame,
+  // the marginal pack cost for the rest). Critical frames arm the same-clock flush event; held
+  // frames wait for a carrier or their per-destination hold timer.
+  void Enqueue(NodeId dst, Kind kind, Service service, uint64_t req_id, const Payload& body,
+               TimeCategory charge_as, uint64_t trace, bool held, SimTime hold_for);
+  // True when a page/bulk request to `dst` should be held for mutual-peer piggybacking, or the
+  // service is a gated diff merge (always held; it rides the reduce-up frame).
+  bool ShouldHold(NodeId dst, Service service) const;
+  // Arms the flush event at the current clock; the strict event-before-step rule in Machine::Run
+  // guarantees it fires before this node executes past the current instant.
+  void ScheduleFlushEvent();
+  void FlushBatches();
+  void FlushQueue(NodeId dst);
+  void SendFrames(NodeId dst, std::vector<QueuedFrame>& frames);
+  // Datagram-level stats: wire bytes (link framing + payload) and the per-datagram histograms.
+  void RecordDatagram(size_t payload_bytes, size_t nframes);
+  // Initial retransmission timeout for a request to `dst` (fixed when coalescing is off; the
+  // estimated RTO clamped to [rto_min, retransmit_timeout_max] and floored by the expected-reply
+  // wire time when on).
+  SimTime InitialTimeout(NodeId dst, size_t expected_reply_bytes) const;
+  // Feeds one reply into the per-peer RTT estimator (Karn's rule: first-attempt samples only).
+  void UpdateRtt(NodeId src, const Outstanding& out);
+  // Dispatches one unpacked frame; `first` selects full receive overhead vs the marginal cost.
+  void DispatchFrame(NodeId src, const Header& h, Payload body, bool first);
   // The node's current causal trace id (0 when no tracer is wired).
   uint64_t CurTrace() const { return tracer_ != nullptr ? tracer_->current() : 0; }
   void ArmTimer(uint64_t req_id);
@@ -208,6 +321,7 @@ class PacketEndpoint {
   sim::Machine* machine_;
   NodeId self_;
   PacketConfig config_;
+  CoalesceConfig coalesce_;
   ChargeFn charge_;
   ClockFn clock_;
   PacketStats stats_;
@@ -217,6 +331,18 @@ class PacketEndpoint {
 
   uint64_t next_req_id_ = 1;
   std::map<uint64_t, Outstanding> outstanding_;
+
+  // --- Coalescing state (all empty/idle when coalesce_.enabled is false) ---
+  std::map<NodeId, DstQueue> queues_;
+  bool flush_event_pending_ = false;
+  sim::EventHandle flush_event_;
+  // Last time each peer sent us a page/bulk request (drives the mutual-peer hold heuristic).
+  std::map<NodeId, SimTime> last_req_from_;
+  // Set by ElideCurrentReply() from inside the currently-running ServiceFn.
+  bool elide_current_reply_ = false;
+
+  // Per-peer RTT estimates; always maintained (net.rto_us), applied to timers when coalescing on.
+  std::map<NodeId, PeerRtt> peer_rtt_;
   std::unordered_map<uint16_t, ServiceEntry> services_;
   std::unordered_map<uint16_t, RawEntry> raw_handlers_;
   // ack_replies mode: replies awaiting acknowledgement, keyed by (requester, request id) — the

@@ -52,6 +52,12 @@ struct CostModel {
   SimTime msg_send_overhead = Microseconds(620.0);  // syscall + copy + protocol processing
   SimTime msg_recv_overhead = Microseconds(680.0);  // SIGIO + syscall + copy + dispatch
   SimTime timer_overhead = Microseconds(50.0);      // servicing a retransmission timer
+  // Marginal cost of adding one more frame to an already-open coalesced datagram (a copy into the
+  // pack buffer) and of dispatching one additional unpacked frame on receive (no extra SIGIO or
+  // syscall — just header parse + handler dispatch). The first frame of a datagram always pays
+  // the full msg_send/recv_overhead.
+  SimTime coalesce_frame_send = Microseconds(90.0);
+  SimTime coalesce_frame_recv = Microseconds(100.0);
 
   // --- Network (10 Mb/s shared Ethernet) ---
   double wire_bytes_per_us = 1.25;          // 10 Mb/s

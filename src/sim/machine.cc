@@ -35,6 +35,8 @@ const char* MsgClassName(MsgClass klass) {
       return "raw";
     case MsgClass::kAck:
       return "ack";
+    case MsgClass::kPacked:
+      return "packed";
     default:
       return "unknown";
   }

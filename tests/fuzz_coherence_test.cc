@@ -104,9 +104,12 @@ TEST(FuzzPinnedRegressionTest, UseOnceHoldBreaksWriteWriteLivelock) {
 // invalidation overtook the read reply — installing the in-flight bytes would resurrect a stale
 // untracked copy. Fixed by PageEntry::discard_install (drop the install, re-fault).
 // (Seed re-pinned to page-chaos/113 when the matrix grew the diff protocol and protocol
-// adaptation: the extra RNG draws re-rolled every case, and seed 0 no longer hits the race.)
+// adaptation: the extra RNG draws re-rolled every case, and seed 0 no longer hits the race.
+// Re-pinned again to page-chaos/181 — a coalesce-off case, keeping the original uncoalesced
+// character of the race — when the coalesce dimension flipped 113 on and its timing shift
+// stopped the install from racing the invalidation.)
 TEST(FuzzPinnedRegressionTest, InvalidationOvertakingReadReplyDiscardsInstall) {
-  const FuzzResult r = RunFuzzCase("page-chaos", 113, {});
+  const FuzzResult r = RunFuzzCase("page-chaos", 181, {});
   EXPECT_TRUE(r.ok()) << r.Summary();
   EXPECT_GT(r.dsm.discarded_installs, 0u);
 }
@@ -127,6 +130,26 @@ TEST(FuzzPinnedRegressionTest, WriteInvalidateUnderLossCompletesCorrectly) {
   const FuzzResult r = RunFuzzCase("uniform-loss", 9, {});
   EXPECT_TRUE(r.ok()) << r.Summary();
   EXPECT_GT(r.net.retransmissions, 0u);
+}
+
+// Pins the stale-done guard in NodeRuntime's reduce handler (DESIGN.md §11). With coalescing on,
+// a reduce-up and its gated diff merge travel unacked; the barrier done broadcast stands in for
+// both acks. Under loss the done for epoch E-1 arrives AGAIN — a duplicated raw broadcast, or the
+// reliable done request retransmitted because this node's reply to it was lost — after the node
+// already sent epoch E's pair. Cancelling E's requests on that stale done orphaned the lost gated
+// merge; the parent then deferred the up forever (merge-epoch piggyback guard) until it aborted at
+// the retransmission limit. Found by the coalesce fuzz dimension on every one of these seeds.
+TEST(FuzzPinnedRegressionTest, StaleDoneMustNotCancelNextEpochSyncRequests) {
+  for (const uint64_t seed : {uint64_t{3}, uint64_t{8}, uint64_t{53}}) {
+    const FuzzResult r = RunFuzzCase("uniform-loss", seed, {});
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    EXPECT_NE(r.config_desc.find("coalesce"), std::string::npos) << r.Summary();
+  }
+  for (const uint64_t seed : {uint64_t{20}, uint64_t{28}}) {
+    const FuzzResult r = RunFuzzCase("burst-loss", seed, {});
+    EXPECT_TRUE(r.ok()) << r.Summary();
+    EXPECT_NE(r.config_desc.find("coalesce"), std::string::npos) << r.Summary();
+  }
 }
 
 // --- Directed adversarial runs (duplication / reordering defenses) ---------------------------
