@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -237,11 +238,37 @@ inline void EmitSpeedupRows(JsonReport* jr, const std::vector<SpeedupRow>& rows)
   }
 }
 
-// Observability artifacts next to BENCH_<name>.json: METRICS_<label>.json (dfil-metrics-v1, the
+// The CLI-level half of the provenance block every METRICS_*.json carries: exactly which bench
+// flags produced the artifact. The run's config-level fields (resolved nodes/pcp/seed/coalesce,
+// network, barrier) come from RunReport::provenance; "cli.*" records what was explicitly asked
+// for, so a default and an explicit `--nodes=8` are distinguishable.
+inline std::map<std::string, std::string> ProvenanceOf(const BenchArgs& args) {
+  std::map<std::string, std::string> p;
+  p["cli.quick"] = args.quick ? "1" : "0";
+  p["cli.coalesce"] = args.coalesce ? "1" : "0";
+  if (args.nodes > 0) {
+    p["cli.nodes"] = std::to_string(args.nodes);
+  }
+  if (args.pcp.has_value()) {
+    p["cli.pcp"] = dsm::PcpName(*args.pcp);
+  }
+  if (args.page_shift != 0) {
+    p["cli.page_shift"] = std::to_string(args.page_shift);
+  }
+  if (args.seed != 0) {
+    p["cli.seed"] = std::to_string(args.seed);
+  }
+  return p;
+}
+
+// Observability artifacts next to BENCH_<name>.json: METRICS_<label>.json (dfil-metrics-v2, the
 // input to tools/dfil_report and the CI regression gate) and, when the run was traced,
 // TRACE_<label>.json (Chrome trace-event JSON for Perfetto / chrome://tracing).
-inline void EmitMetrics(const core::RunReport& report, const std::string& label) {
-  core::WriteMetricsFile(report, label);
+inline void EmitMetrics(const core::RunReport& report, const std::string& label,
+                        const BenchArgs* args = nullptr) {
+  core::WriteMetricsFile(
+      report, label,
+      args != nullptr ? ProvenanceOf(*args) : std::map<std::string, std::string>{});
 }
 
 inline void EmitTrace(const core::RunReport& report, const std::string& label) {

@@ -7,6 +7,7 @@
 #include "src/apps/matmul.h"
 #include "src/apps/sor.h"
 #include "src/core/dfil.h"
+#include "src/core/metrics_io.h"
 #include "src/net/packet.h"
 
 namespace dfil::apps {
@@ -187,6 +188,9 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
     // production 100ms fixed timeout, which would pin every estimated RTO at the 40ms max here).
     cfg.packet.rto_min = cfg.packet.retransmit_timeout;
   }
+  if (opts.max_virtual_time > 0) {
+    cfg.max_virtual_time = opts.max_virtual_time;
+  }
 
   dsm::CoherenceOracle oracle;
   cfg.coherence_oracle = &oracle;
@@ -254,6 +258,11 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   result.makespan = faulted.report.makespan;
   result.net = faulted.report.net;
   result.trace = faulted.report.trace;
+  result.flight = faulted.report.flight;
+  if (opts.flight_dump_on_failure && !result.ok()) {
+    result.flight_path = core::WriteFlightFile(
+        faulted.report, scenario + "_seed" + std::to_string(seed), result.violations);
+  }
   for (const core::NodeReport& nr : faulted.report.nodes) {
     const DsmStats& d = nr.dsm;
     result.dsm.read_faults += d.read_faults;

@@ -23,12 +23,20 @@
 
 #include "src/common/stats.h"
 #include "src/common/trace.h"
+#include "src/core/cluster.h"
 
 namespace dfil::apps {
 
 struct FuzzOptions {
   bool log_packets = false;   // enable kDebug logging for the faulted run (single-seed replay aid)
   bool capture_trace = false;  // record a Chrome trace of the faulted run (FuzzResult::trace)
+  // Write FLIGHT_<scenario>_seed<N>.json (dfil-flight-v1, rendered by `dfil_report flight`) into
+  // the working directory whenever the case fails — the crash forensics CI attaches to a red
+  // fuzz-smoke lane.
+  bool flight_dump_on_failure = false;
+  // > 0 overrides the runaway guard. Applied after every RNG draw, so overriding it never
+  // reshuffles the configs of the existing (scenario, seed) corpus.
+  SimTime max_virtual_time = 0;
 };
 
 struct FuzzResult {
@@ -52,6 +60,13 @@ struct FuzzResult {
   // instants ("inject" track), so a replayed failure shows exactly which drop/dup/delay/stall
   // decisions surrounded the misbehaving exchange.
   std::shared_ptr<TraceRecorder> trace;
+
+  // Flight-recorder snapshot from the faulted run: every node's last wait events and the
+  // adversary's recent injection decisions, frozen at the first oracle violation (else end of
+  // run). FuzzOptions::flight_dump_on_failure serializes it; flight_path names the file written
+  // (empty when none was).
+  core::FlightSnapshot flight;
+  std::string flight_path;
 
   bool ok() const { return completed && output_ok && violations.empty(); }
   // One-line verdict, e.g. "FAIL reorder seed=17 [jacobi wi n=3 ps=9]: 2 violations".

@@ -14,6 +14,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace dfil {
 
@@ -71,6 +72,11 @@ class MetricsRegistry {
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
   bool empty() const { return counters_.empty() && histograms_.empty(); }
 
+  // Per-epoch time-series rows, one map per synchronization point in epoch order; serialized by
+  // metrics_io as the per-node "epochs" array of the dfil-metrics-v2 schema.
+  void AddEpochRow(std::map<std::string, double> row) { epochs_.push_back(std::move(row)); }
+  const std::vector<std::map<std::string, double>>& epochs() const { return epochs_; }
+
   // {"counters":{...},"histograms":{...}}; `indent` prefixes every line for nested pretty
   // printing.
   void WriteJson(std::ostream& os, const std::string& indent) const;
@@ -78,6 +84,7 @@ class MetricsRegistry {
  private:
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, Histogram> histograms_;
+  std::vector<std::map<std::string, double>> epochs_;
 };
 
 }  // namespace dfil

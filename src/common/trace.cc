@@ -93,8 +93,13 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
       os << ",\n";
     }
     first = false;
+    // ts is printed at fixed nanosecond precision: default ostream double formatting keeps only
+    // six significant digits, which collapses distinct microsecond timestamps on second-long
+    // runs — fatal for the critpath walker, which aligns spans across nodes by exact ts.
+    char ts_buf[32];
+    std::snprintf(ts_buf, sizeof(ts_buf), "%.3f", ToMicroseconds(e.ts));
     os << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.node << ",\"tid\":" << e.tid
-       << ",\"ts\":" << ToMicroseconds(e.ts);
+       << ",\"ts\":" << ts_buf;
     if (e.phase != 'E') {
       os << ",\"cat\":\"";
       WriteEscaped(os, e.category);

@@ -3,8 +3,24 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/dsm/coherence_oracle.h"
 
 namespace dfil::core {
+namespace {
+
+const char* BarrierName(ClusterConfig::BarrierKind k) {
+  switch (k) {
+    case ClusterConfig::BarrierKind::kTournamentBroadcast:
+      return "tournament";
+    case ClusterConfig::BarrierKind::kDissemination:
+      return "dissemination";
+    case ClusterConfig::BarrierKind::kCentral:
+      return "central";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Cluster::Cluster(const ClusterConfig& config) : config_(config), layout_(config.page_shift) {
   DFIL_CHECK_GT(config_.nodes, 0);
@@ -51,7 +67,36 @@ RunReport Cluster::Run(const NodeMain& node_main) {
     rt->SetMain([rt, &node_main] { node_main(rt->env()); });
   }
 
+  FlightSnapshot flight;
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+  if (config_.coherence_oracle != nullptr && config_.waitstate_enabled) {
+    config_.coherence_oracle->on_first_violation = [this, &flight] {
+      flight.at_violation = true;
+      flight.node_events.clear();
+      for (auto& node : nodes_) {
+        flight.node_events.push_back(node->waitstate().RecentEvents());
+      }
+      flight.injections = machine_->RecentInjections();
+    };
+  }
+#endif
+
   sim::RunResult sim_result = machine_->Run(config_.max_virtual_time);
+
+#ifndef DFIL_DISABLE_COHERENCE_ORACLE
+  if (config_.coherence_oracle != nullptr) {
+    config_.coherence_oracle->on_first_violation = nullptr;
+  }
+#endif
+  for (auto& node : nodes_) {
+    node->FinalizeWaitstate();
+  }
+  if (config_.waitstate_enabled && !flight.at_violation) {
+    for (auto& node : nodes_) {
+      flight.node_events.push_back(node->waitstate().RecentEvents());
+    }
+    flight.injections = machine_->RecentInjections();
+  }
 
   RunReport report;
   report.completed = sim_result.completed;
@@ -64,10 +109,23 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   report.pcp = dsm::PcpName(config_.dsm.pcp);
   report.num_nodes = config_.nodes;
   report.trace = trace;
+  report.flight = std::move(flight);
+  report.provenance["nodes"] = std::to_string(config_.nodes);
+  report.provenance["pcp"] = report.pcp;
+  report.provenance["page_shift"] = std::to_string(config_.page_shift);
+  report.provenance["seed"] = std::to_string(config_.seed);
+  report.provenance["network"] =
+      config_.network == NetworkKind::kSharedEthernet ? "shared-ethernet" : "switched";
+  report.provenance["barrier"] = BarrierName(config_.barrier);
+  report.provenance["coalesce"] = config_.coalesce.enabled ? "on" : "off";
+  report.provenance["waitstate"] = config_.waitstate_enabled ? "on" : "off";
+  report.provenance["loss_rate"] = std::to_string(config_.loss_rate);
   for (auto& node : nodes_) {
     NodeReport nr;
     nr.node = node->id();
     nr.finished_at = node->main_finished_at();
+    nr.final_clock = node->Clock();
+    nr.waits = node->waitstate();
     nr.breakdown = node->breakdown();
     nr.filaments = node->fil_stats();
     nr.dsm = node->dsm().stats();

@@ -21,6 +21,7 @@
 #include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
+#include "src/common/waitstate.h"
 #include "src/core/config.h"
 #include "src/core/node_env.h"
 #include "src/core/node_runtime.h"
@@ -32,13 +33,27 @@ namespace dfil::core {
 struct NodeReport {
   NodeId node = 0;
   SimTime finished_at = 0;          // virtual time the node's main returned
+  SimTime final_clock = 0;          // node clock at end of run (>= finished_at; includes the tail)
   TimeBreakdown breakdown;          // Figure 10 categories
   FilamentStats filaments;
   DsmStats dsm;
   net::PacketStats packet;
   MetricsRegistry metrics;          // live histograms + runtime counters
+  // Wait-state ledgers + flight ring (zeroed unless ClusterConfig::waitstate_enabled). After
+  // FinalizeWaitstate, run_time + serve_time + wait_time == final_clock exactly.
+  WaitStateRecorder waits;
   std::map<uint16_t, uint64_t> sent_by_service;  // Figure 9 message counts
   std::vector<uint32_t> page_heat;  // demand faults per page on this node
+};
+
+// Flight-recorder snapshot: every node's recent wait events plus the machine's recent
+// fault-injection decisions. Captured the moment the coherence oracle records its first violation
+// (at_violation = true, while the rings still hold the lead-up), else at end of run. Empty unless
+// ClusterConfig::waitstate_enabled.
+struct FlightSnapshot {
+  bool at_violation = false;
+  std::vector<std::vector<WaitEvent>> node_events;  // indexed by node, oldest first
+  std::vector<sim::Machine::InjectionNote> injections;
 };
 
 struct RunReport {
@@ -52,6 +67,10 @@ struct RunReport {
   std::string pcp;                  // protocol name (PcpName), for report labelling
   int num_nodes = 0;
   std::vector<NodeReport> nodes;
+  // Reproducibility provenance (the config knobs that picked this schedule), stamped into every
+  // metrics export; bench_util overlays its CLI-level fields on top.
+  std::map<std::string, std::string> provenance;
+  FlightSnapshot flight;
   // Execution trace (null unless ClusterConfig::trace_enabled); export with WriteChromeTrace.
   std::shared_ptr<TraceRecorder> trace;
 

@@ -83,6 +83,12 @@ struct ClusterConfig {
   // export as Chrome trace-event JSON via RunReport::trace.
   bool trace_enabled = false;
 
+  // Wait-state accounting (common/waitstate.h): typed records for every blocked interval, the
+  // run/serve/wait clock ledgers, per-epoch metrics snapshots, and the flight-recorder ring.
+  // Never charges time or sends messages, so schedules are byte-identical on and off; on by
+  // default because every analysis layer (dfil_report critpath/blame, flight dumps) feeds on it.
+  bool waitstate_enabled = true;
+
   // Runaway guard for the virtual clock.
   SimTime max_virtual_time = Seconds(100000.0);
 };

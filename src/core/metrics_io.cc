@@ -116,13 +116,25 @@ std::map<std::string, uint64_t> ClusterCounters(const RunReport& report) {
 
 }  // namespace
 
-void WriteMetricsJson(const RunReport& report, const std::string& label, std::ostream& os) {
-  os << "{\n  \"schema\": \"dfil-metrics-v1\",\n  \"label\": \"" << label << "\",\n  \"pcp\": \""
+void WriteMetricsJson(const RunReport& report, const std::string& label, std::ostream& os,
+                      const std::map<std::string, std::string>& extra_provenance) {
+  os << "{\n  \"schema\": \"dfil-metrics-v2\",\n  \"label\": \"" << label << "\",\n  \"pcp\": \""
      << report.pcp << "\",\n  \"nodes\": " << report.num_nodes
      << ",\n  \"completed\": " << (report.completed ? 1 : 0)
-     << ",\n  \"makespan_us\": " << ToMicroseconds(report.makespan) << ",\n  \"cluster\": {\n"
-     << "    \"counters\": {";
+     << ",\n  \"makespan_us\": " << ToMicroseconds(report.makespan)
+     << ",\n  \"provenance\": {";
+  std::map<std::string, std::string> provenance = report.provenance;
+  for (const auto& [key, value] : extra_provenance) {
+    provenance[key] = value;
+  }
   bool first = true;
+  for (const auto& [key, value] : provenance) {
+    os << (first ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << "\"";
+    first = false;
+  }
+  os << "\n  },\n  \"cluster\": {\n"
+     << "    \"counters\": {";
+  first = true;
   for (const auto& [name, value] : ClusterCounters(report)) {
     os << (first ? "\n" : ",\n") << "      \"" << name << "\": " << value;
     first = false;
@@ -132,13 +144,39 @@ void WriteMetricsJson(const RunReport& report, const std::string& label, std::os
     const NodeReport& nr = report.nodes[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\n      \"node\": " << nr.node
        << ",\n      \"finished_at_us\": " << ToMicroseconds(nr.finished_at)
+       << ",\n      \"final_clock_us\": " << ToMicroseconds(nr.final_clock)
        << ",\n      \"time_us\": {";
     for (size_t c = 0; c < kNumTimeCategories; ++c) {
       const auto cat = static_cast<TimeCategory>(c);
       os << (c == 0 ? "" : ", ") << "\"" << TimeCategoryName(cat)
          << "\": " << ToMicroseconds(nr.breakdown.Get(cat));
     }
-    os << "},\n      \"metrics\": ";
+    os << "},\n      \"run_us\": " << ToMicroseconds(nr.waits.run_time())
+       << ",\n      \"serve_us\": " << ToMicroseconds(nr.waits.serve_time())
+       << ",\n      \"wait_us\": {";
+    for (size_t k = 0; k < kNumWaitKinds; ++k) {
+      const auto kind = static_cast<WaitKind>(k);
+      os << (k == 0 ? "" : ", ") << "\"" << WaitKindName(kind)
+         << "\": " << ToMicroseconds(nr.waits.wait_time(kind));
+    }
+    os << "},\n      \"wait_events\": {";
+    for (size_t k = 0; k < kNumWaitKinds; ++k) {
+      const auto kind = static_cast<WaitKind>(k);
+      os << (k == 0 ? "" : ", ") << "\"" << WaitKindName(kind)
+         << "\": " << nr.waits.event_count(kind);
+    }
+    os << "},\n      \"epochs\": [";
+    const auto& epochs = nr.metrics.epochs();
+    for (size_t e = 0; e < epochs.size(); ++e) {
+      os << (e == 0 ? "\n        {" : ",\n        {");
+      bool first_col = true;
+      for (const auto& [name, value] : epochs[e]) {
+        os << (first_col ? "" : ", ") << "\"" << name << "\": " << value;
+        first_col = false;
+      }
+      os << "}";
+    }
+    os << (epochs.empty() ? "]" : "\n      ]") << ",\n      \"metrics\": ";
     FlattenNode(nr).WriteJson(os, "      ");
     os << ",\n      \"page_heat\": [";
     bool first_page = true;
@@ -154,10 +192,90 @@ void WriteMetricsJson(const RunReport& report, const std::string& label, std::os
   os << "\n  ]\n}\n";
 }
 
-std::string WriteMetricsFile(const RunReport& report, const std::string& label) {
+std::string WriteMetricsFile(const RunReport& report, const std::string& label,
+                             const std::map<std::string, std::string>& extra_provenance) {
   const std::string name = "METRICS_" + label + ".json";
   std::ofstream out(name);
-  WriteMetricsJson(report, label, out);
+  WriteMetricsJson(report, label, out, extra_provenance);
+  std::printf("wrote %s\n", name.c_str());
+  return name;
+}
+
+namespace {
+
+// Minimal JSON string escaping for oracle violation text (which embeds page/value dumps).
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+const char* MsgClassLabel(sim::MsgClass klass) {
+  switch (klass) {
+    case sim::MsgClass::kRequest:
+      return "request";
+    case sim::MsgClass::kReply:
+      return "reply";
+    case sim::MsgClass::kRaw:
+      return "raw";
+    case sim::MsgClass::kAck:
+      return "ack";
+    case sim::MsgClass::kPacked:
+      return "packed";
+    case sim::MsgClass::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void WriteFlightJson(const RunReport& report, const std::string& label,
+                     const std::vector<std::string>& violations, std::ostream& os) {
+  const FlightSnapshot& flight = report.flight;
+  os << "{\n  \"schema\": \"dfil-flight-v1\",\n  \"label\": \"";
+  WriteEscaped(os, label);
+  os << "\",\n  \"at_violation\": " << (flight.at_violation ? 1 : 0) << ",\n  \"violations\": [";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    os << (i == 0 ? "\n    \"" : ",\n    \"");
+    WriteEscaped(os, violations[i]);
+    os << "\"";
+  }
+  os << (violations.empty() ? "]" : "\n  ]") << ",\n  \"nodes\": [";
+  for (size_t n = 0; n < flight.node_events.size(); ++n) {
+    os << (n == 0 ? "\n" : ",\n") << "    {\"node\": " << n << ", \"events\": [";
+    const auto& events = flight.node_events[n];
+    for (size_t i = 0; i < events.size(); ++i) {
+      const WaitEvent& e = events[i];
+      os << (i == 0 ? "\n" : ",\n") << "      {\"kind\": \"" << WaitKindName(e.kind)
+         << "\", \"detail\": " << e.detail << ", \"start_us\": " << ToMicroseconds(e.start)
+         << ", \"end_us\": " << ToMicroseconds(e.end) << "}";
+    }
+    os << (events.empty() ? "]}" : "\n    ]}");
+  }
+  os << (flight.node_events.empty() ? "]" : "\n  ]") << ",\n  \"injections\": [";
+  for (size_t i = 0; i < flight.injections.size(); ++i) {
+    const sim::Machine::InjectionNote& note = flight.injections[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"what\": \"" << note.what << "\", \"class\": \""
+       << MsgClassLabel(note.klass) << "\", \"type\": " << note.type << ", \"src\": " << note.src
+       << ", \"dst\": " << note.dst << ", \"at_us\": " << ToMicroseconds(note.at) << "}";
+  }
+  os << (flight.injections.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+std::string WriteFlightFile(const RunReport& report, const std::string& label,
+                            const std::vector<std::string>& violations) {
+  const std::string name = "FLIGHT_" + label + ".json";
+  std::ofstream out(name);
+  WriteFlightJson(report, label, violations, out);
   std::printf("wrote %s\n", name.c_str());
   return name;
 }

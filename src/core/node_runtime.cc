@@ -1,5 +1,6 @@
 #include "src/core/node_runtime.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
@@ -23,6 +24,41 @@ TimeCategory ClassifyGap(const std::string& reason) {
     return TimeCategory::kSyncDelay;
   }
   return TimeCategory::kIdle;
+}
+
+// Maps a block reason onto a typed wait kind, extracting the kind-specific cause (page id,
+// barrier epoch, service number) when the reason string carries one.
+WaitKind KindOfBlockReason(const std::string& reason, uint64_t* detail) {
+  *detail = 0;
+  if (reason.rfind("page ", 0) == 0) {
+    *detail = std::strtoull(reason.c_str() + 5, nullptr, 10);
+    return WaitKind::kPageFault;
+  }
+  if (reason.rfind("call ", 0) == 0) {
+    *detail = std::strtoull(reason.c_str() + 5, nullptr, 10);
+    return WaitKind::kCall;
+  }
+  if (reason.rfind("reduce up e", 0) == 0) {
+    *detail = std::strtoull(reason.c_str() + 11, nullptr, 10);
+    return WaitKind::kBarrier;
+  }
+  if (reason.rfind("reduce done e", 0) == 0) {
+    *detail = std::strtoull(reason.c_str() + 13, nullptr, 10);
+    return WaitKind::kBarrier;
+  }
+  if (reason.rfind("drain", 0) == 0) {
+    return WaitKind::kFetchDrain;
+  }
+  if (reason.rfind("recv", 0) == 0) {
+    return WaitKind::kChannel;
+  }
+  if (reason.rfind("join", 0) == 0 || reason.rfind("fj", 0) == 0) {
+    return WaitKind::kJoin;
+  }
+  if (reason.rfind("sweep", 0) == 0) {
+    return WaitKind::kSweep;
+  }
+  return WaitKind::kIdle;
 }
 
 }  // namespace
@@ -59,6 +95,10 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   packet_->set_tracer(&tracer_);
   packet_->set_metrics(&metrics_);
   packet_->set_coalesce(config_.coalesce);
+  ws_on_ = config_.waitstate_enabled;
+  if (ws_on_) {
+    packet_->set_waitstate(&waitstate_);
+  }
 
   dsm::DsmNode::Hooks hooks;
   hooks.charge = [this](TimeCategory c, SimTime t) { Charge(c, t); };
@@ -154,6 +194,8 @@ void NodeRuntime::SetMain(std::function<void()> body) {
     body();
     main_done_ = true;
     main_finished_at_ = clock_;
+    // Anchors the critical-path walk: the end-to-end path terminates at the latest "done".
+    TraceInstant("node", "done");
   });
   ready_.PushBack(main);
 }
@@ -191,6 +233,9 @@ void NodeRuntime::Charge(TimeCategory category, SimTime cost) {
   if (threads_.current() == nullptr) {
     // Handler (host) context: interrupt work simply extends the node's clock.
     clock_ += cost;
+    if (ws_on_) {
+      waitstate_.AddServe(cost);
+    }
     return;
   }
   SimTime remaining = cost;
@@ -201,11 +246,18 @@ void NodeRuntime::Charge(TimeCategory category, SimTime cost) {
     const SimTime limit = machine_->ChargeLimit(id_);
     if (limit >= clock_ + remaining || limit == kSimTimeNever) {
       clock_ += remaining;
+      if (ws_on_) {
+        waitstate_.AddRun(remaining);
+      }
       return;
     }
     if (limit > clock_) {
-      remaining -= limit - clock_;
+      const SimTime step = limit - clock_;
+      remaining -= step;
       clock_ = limit;
+      if (ws_on_) {
+        waitstate_.AddRun(step);
+      }
     }
     YieldForEvent();
   }
@@ -231,6 +283,7 @@ void NodeRuntime::BlockCurrent() {
   DFIL_CHECK(self != nullptr);
   DFIL_CHECK(self->state() == threads::ThreadState::kBlocked)
       << "callers must set the blocked state and reason before BlockCurrent";
+  self->set_blocked_since(clock_);
   blocked_.push_back(self);
   threads_.SwitchToHost();
 }
@@ -246,6 +299,28 @@ void NodeRuntime::Wake(threads::ServerThread* t) {
   }
 }
 
+void NodeRuntime::AccountWake(threads::ServerThread* t) {
+  if (pending_gap_ > 0) {
+    breakdown_.Add(ClassifyGap(t->block_reason()), pending_gap_);
+    if (ws_on_) {
+      uint64_t detail = 0;
+      waitstate_.AddWait(KindOfBlockReason(t->block_reason(), &detail), pending_gap_);
+    }
+    pending_gap_ = 0;
+  }
+  // blocked_since is -1 for a thread that marked itself blocked but was woken before it ever
+  // suspended (the fault path charges — and can take a wake — between marking and BlockCurrent);
+  // such a thread never waited, so there is no interval to record.
+  if (ws_on_ && t->blocked_since() >= 0) {
+    if (clock_ > t->blocked_since()) {
+      uint64_t detail = 0;
+      const WaitKind kind = KindOfBlockReason(t->block_reason(), &detail);
+      waitstate_.Record(kind, detail, t->blocked_since(), clock_);
+    }
+    t->set_blocked_since(-1);
+  }
+}
+
 void NodeRuntime::WakeAtFront(threads::ServerThread* t) {
   DFIL_CHECK(t->state() == threads::ThreadState::kBlocked);
   for (size_t i = 0; i < blocked_.size(); ++i) {
@@ -254,10 +329,7 @@ void NodeRuntime::WakeAtFront(threads::ServerThread* t) {
       break;
     }
   }
-  if (pending_gap_ > 0) {
-    breakdown_.Add(ClassifyGap(t->block_reason()), pending_gap_);
-    pending_gap_ = 0;
-  }
+  AccountWake(t);
   t->set_state(threads::ThreadState::kReady);
   ready_.PushFront(t);
 }
@@ -270,10 +342,7 @@ void NodeRuntime::WakeAtTail(threads::ServerThread* t) {
       break;
     }
   }
-  if (pending_gap_ > 0) {
-    breakdown_.Add(ClassifyGap(t->block_reason()), pending_gap_);
-    pending_gap_ = 0;
-  }
+  AccountWake(t);
   t->set_state(threads::ThreadState::kReady);
   ready_.PushBack(t);
 }
@@ -607,7 +676,11 @@ double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
 double NodeRuntime::Reduce(double value, ReduceOp op) {
   DFIL_CHECK(threads_.current() != nullptr);
   const SimTime entered = clock_;
-  TraceBegin("sync", "reduce");
+  // The epoch is stamped into the span name so the critical-path walk can align the same barrier
+  // across nodes. Reductions never overlap on one node (single reduce_waiter_ slot), so the
+  // pre-drain value is the epoch this reduction will claim below.
+  const uint64_t epoch = reduce_epoch_ + 1;
+  TraceBegin("sync", "reduce e" + std::to_string(epoch));
   WaitForFetchDrain();
   // A reduction is a synchronization point: implicit-invalidate drops read-only copies here,
   // before any message is sent, which is why it needs no invalidation traffic (paper §3).
@@ -618,7 +691,7 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
   // single-writer protocols, which send nothing at sync points.
   WaitForFetchDrain();
 
-  const uint64_t epoch = ++reduce_epoch_;
+  DFIL_CHECK_EQ(++reduce_epoch_, epoch);
   double result = value;
   if (config_.nodes > 1) {
     switch (config_.barrier) {
@@ -636,7 +709,52 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
   TraceEnd();
   metrics_.Inc("sync.reductions");
   metrics_.Hist("sync.barrier_wait_us").Record(ToMicroseconds(clock_ - entered));
+  if (ws_on_) {
+    // Arrival-to-release gap for this epoch. Thread-level "reduce up/done" blocks inside the
+    // barrier are recorded separately by the wake path; the node wait LEDGER only ever sees those
+    // scheduler gaps, so the ledger is not double-counted by this record.
+    waitstate_.Record(WaitKind::kBarrier, epoch, entered, clock_);
+    RecordEpochSnapshot(epoch, entered);
+  }
   return result;
+}
+
+// One row of the per-epoch time series: what this node spent and shipped between the previous
+// sync point and this one (deltas against epoch_base_), keyed "epoch.<name>" into the registry's
+// epoch rows so metrics_io can serialize the series per node.
+void NodeRuntime::RecordEpochSnapshot(uint64_t epoch, SimTime entered) {
+  const DsmStats& d = dsm_->stats();
+  const net::PacketStats& p = packet_->stats();
+  const uint64_t faults = d.read_faults + d.write_faults;
+  std::map<std::string, double> row;
+  row["epoch"] = static_cast<double>(epoch);
+  row["released_at_us"] = ToMicroseconds(clock_);
+  row["barrier_wait_us"] = ToMicroseconds(clock_ - entered);
+  row["faults"] = static_cast<double>(faults - epoch_base_.faults);
+  row["diff_bytes"] = static_cast<double>(d.diff_bytes_sent - epoch_base_.diff_bytes);
+  row["datagrams"] = static_cast<double>(p.datagrams_sent - epoch_base_.datagrams);
+  row["wait_us"] = ToMicroseconds(waitstate_.wait_time() - epoch_base_.wait);
+  row["serve_us"] = ToMicroseconds(waitstate_.serve_time() - epoch_base_.serve);
+  metrics_.AddEpochRow(std::move(row));
+  epoch_base_.faults = faults;
+  epoch_base_.diff_bytes = d.diff_bytes_sent;
+  epoch_base_.datagrams = p.datagrams_sent;
+  epoch_base_.wait = waitstate_.wait_time();
+  epoch_base_.serve = waitstate_.serve_time();
+}
+
+void NodeRuntime::FinalizeWaitstate() {
+  if (!ws_on_) {
+    return;
+  }
+  // The trailing scheduler gap (after the last wake — typically the quiet tail waiting for the
+  // cluster to finish) has no wake to classify it; fold it into idle so the three ledgers
+  // partition the final clock exactly. Deliberately NOT added to breakdown_, whose contract is
+  // "charged or wake-classified time only" (it may undershoot finished_at).
+  if (pending_gap_ > 0) {
+    waitstate_.AddWait(WaitKind::kIdle, pending_gap_);
+    pending_gap_ = 0;
+  }
 }
 
 // --- Channels ------------------------------------------------------------------------------------

@@ -28,6 +28,7 @@
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/common/types.h"
+#include "src/common/waitstate.h"
 #include "src/core/config.h"
 #include "src/core/node_env.h"
 #include "src/dsm/dsm_node.h"
@@ -112,6 +113,13 @@ class NodeRuntime final : public sim::NodeHost {
   // Live histograms and runtime counters; flattened with the stats structs by metrics_io.
   MetricsRegistry& metrics() { return metrics_; }
 
+  // Wait-state ledgers and the flight-recorder ring (common/waitstate.h). Only meaningful when
+  // ClusterConfig::waitstate_enabled; the recorder stays zeroed otherwise.
+  const WaitStateRecorder& waitstate() const { return waitstate_; }
+  // Folds the still-unclassified trailing scheduler gap into the idle wait ledger, making
+  // run + serve + wait equal the final clock exactly. Called once by Cluster::Run at the end.
+  void FinalizeWaitstate();
+
   // --- Accessors ---
   NodeEnv& env() { return env_; }
   const ClusterConfig& config() const { return config_; }
@@ -133,6 +141,11 @@ class NodeRuntime final : public sim::NodeHost {
 
   // Charge() helper: returns to the machine so a due event can dispatch; resumes afterwards.
   void YieldForEvent();
+
+  // Wake-time accounting shared by WakeAtFront/WakeAtTail: classifies the pending scheduler gap
+  // (Figure-10 breakdown + wait-state ledger) and emits the woken thread's blocked-interval
+  // record.
+  void AccountWake(threads::ServerThread* t);
 
   // Blocks the current thread until there are no outstanding page fetches (paper §3: nodes delay
   // at synchronization points until all outstanding page requests are satisfied).
@@ -196,11 +209,25 @@ class NodeRuntime final : public sim::NodeHost {
 
   NodeTracer tracer_;
   MetricsRegistry metrics_;
-  // Per-thread fault-block start times (faults never nest within one server thread); feeds the
-  // dsm.fault_wait_us histogram.
+  // Per-thread fault-block start time (faults never nest within one server thread); feeds the
+  // dsm.fault_wait_us histogram. Page-fault *wait records* come from the wake path, which parses
+  // the page id out of the thread's block reason.
   std::map<uint64_t, SimTime> fault_wait_start_;
   TimeBreakdown breakdown_;
   FilamentStats fil_stats_;
+
+  // Wait-state accounting (no-ops unless config.waitstate_enabled).
+  bool ws_on_ = false;
+  WaitStateRecorder waitstate_;
+  // Prior-epoch counter snapshot, so Reduce can record per-epoch deltas.
+  struct EpochBase {
+    uint64_t faults = 0;
+    uint64_t diff_bytes = 0;
+    uint64_t datagrams = 0;
+    SimTime wait = 0;
+    SimTime serve = 0;
+  } epoch_base_;
+  void RecordEpochSnapshot(uint64_t epoch, SimTime entered);
 };
 
 }  // namespace dfil::core

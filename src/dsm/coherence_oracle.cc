@@ -48,8 +48,14 @@ void CoherenceOracle::SyncShadow(NodeId owner, PageId page) {
 
 void CoherenceOracle::Violate(const std::string& what) {
   DFIL_LOG(kError, "oracle") << "violation: " << what;
+  const bool first = violations_.empty();
   if (violations_.size() < kMaxRecordedViolations) {
     violations_.push_back(what);
+  }
+  if (first && on_first_violation) {
+    // Snapshot hook fires at the failure point, while the flight-recorder rings still hold the
+    // events leading up to it — by end of run they may have wrapped past the interesting window.
+    on_first_violation();
   }
 }
 

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -84,6 +85,11 @@ class CoherenceOracle {
   // Global sweep at a quiescent point: called by the barrier champion once every node has
   // contributed (and therefore drained its fetches and run AtSyncPoint).
   void AtQuiescentPoint();
+
+  // Invoked once, the moment the first violation is recorded (the run keeps going afterwards).
+  // Lets a harness snapshot flight-recorder rings at the failure point instead of at end of run,
+  // when they may have wrapped past the interesting window. May be empty.
+  std::function<void()> on_first_violation;
 
   // --- Results ---
   const std::vector<std::string>& violations() const { return violations_; }

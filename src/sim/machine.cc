@@ -45,6 +45,9 @@ const char* MsgClassName(MsgClass klass) {
 }  // namespace
 
 void Machine::InjectionInstant(const Datagram& d, const char* what, SimTime at) {
+  injection_log_[injections_seen_ % kInjectionLogCapacity] =
+      InjectionNote{what, d.klass, d.type, d.src, d.dst, at};
+  injections_seen_++;
   if (trace_ == nullptr) {
     return;
   }

@@ -9,6 +9,7 @@
 #ifndef DFIL_SIM_MACHINE_H_
 #define DFIL_SIM_MACHINE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -110,6 +111,30 @@ class Machine {
   // Dedicated tid for injection instants (keeps them off the server-thread span tracks).
   static constexpr uint64_t kInjectionTid = 1000000;
 
+  // Recent fault-injection decisions, kept in a fixed ring independent of tracing so flight
+  // recorder dumps (fuzz failures replayed without a trace) still carry the adversary's last
+  // moves. `what` points at a string literal.
+  struct InjectionNote {
+    const char* what = "";
+    MsgClass klass = MsgClass::kRaw;
+    uint32_t type = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    SimTime at = 0;
+  };
+  static constexpr size_t kInjectionLogCapacity = 256;
+  // Oldest first, at most kInjectionLogCapacity entries.
+  std::vector<InjectionNote> RecentInjections() const {
+    std::vector<InjectionNote> out;
+    const uint64_t n = injections_seen_ < kInjectionLogCapacity ? injections_seen_
+                                                                : kInjectionLogCapacity;
+    out.reserve(n);
+    for (uint64_t i = injections_seen_ - n; i < injections_seen_; ++i) {
+      out.push_back(injection_log_[i % kInjectionLogCapacity]);
+    }
+    return out;
+  }
+
   // Hands a datagram to the network at time `ready` (normally the sender's current clock, after
   // it charged send overhead). Lost datagrams count in net_stats but are never delivered.
   void Send(Datagram d, SimTime ready);
@@ -155,7 +180,8 @@ class Machine {
   void Deliver(NodeId dst, Datagram d, SimTime at);
   std::string BuildDeadlockReport() const;
 
-  // Emits an injection instant on (node, kInjectionTid) at `at` when tracing is on.
+  // Logs the decision to the injection ring, and emits an injection instant on
+  // (node, kInjectionTid) at `at` when tracing is on.
   void InjectionInstant(const Datagram& d, const char* what, SimTime at);
 
   std::unique_ptr<NetworkModel> network_;
@@ -167,6 +193,8 @@ class Machine {
   MessageStats net_stats_;
   SimTime lookahead_ = Microseconds(200.0);
   uint64_t events_dispatched_ = 0;
+  std::array<InjectionNote, kInjectionLogCapacity> injection_log_{};
+  uint64_t injections_seen_ = 0;
 };
 
 }  // namespace dfil::sim

@@ -44,6 +44,12 @@ class ServerThread {
   const std::string& block_reason() const { return block_reason_; }
   void set_block_reason(std::string reason) { block_reason_ = std::move(reason); }
 
+  // Virtual time at which the thread last suspended in BlockCurrent; paired with the block
+  // reason at wake to produce the typed wait-state record for the blocked interval. -1 between
+  // records (a thread can be marked blocked yet woken before it ever suspends — no interval).
+  int64_t blocked_since() const { return blocked_since_; }
+  void set_blocked_since(int64_t t) { blocked_since_ = t; }
+
   // Link used by ready queues and wait queues (a thread is on at most one at a time).
   ListNode queue_link;
 
@@ -53,6 +59,7 @@ class ServerThread {
   uint64_t id_ = 0;
   ThreadState state_ = ThreadState::kReady;
   std::string block_reason_;
+  int64_t blocked_since_ = -1;
   Context context_;
   std::unique_ptr<Stack> stack_;
   std::function<void()> body_;

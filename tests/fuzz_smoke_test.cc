@@ -17,9 +17,15 @@ constexpr uint64_t kSmokeSeeds = 64;
 class FuzzSmokeTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(FuzzSmokeTest, SweepIsClean) {
+  // A failing case leaves FLIGHT_<scenario>_seed<N>.json next to the test binary — the flight
+  // recorder's last wait events and injections, rendered with `dfil_report flight` (CI uploads
+  // them when this lane goes red).
+  FuzzOptions opts;
+  opts.flight_dump_on_failure = true;
   for (uint64_t seed = 0; seed < kSmokeSeeds; ++seed) {
-    const FuzzResult r = RunFuzzCase(GetParam(), seed, {});
-    EXPECT_TRUE(r.ok()) << r.Summary();
+    const FuzzResult r = RunFuzzCase(GetParam(), seed, opts);
+    EXPECT_TRUE(r.ok()) << r.Summary()
+                        << (r.flight_path.empty() ? "" : " — flight dump: " + r.flight_path);
   }
 }
 

@@ -1,18 +1,16 @@
 // dfil_report: analysis CLI over the runtime's observability artifacts.
 //
-//   dfil_report report METRICS_*.json        full report: Figure 10 per run, Figure 9 across
-//                                            runs, fault latency, hottest pages
-//   dfil_report figure10 METRICS.json...     per-node time breakdown only
-//   dfil_report figure9 METRICS.json...      message counts per protocol only
-//   dfil_report hot [--top N] METRICS.json   hottest pages
-//   dfil_report check-trace TRACE.json...    trace validity (exit 1 when malformed)
-//   dfil_report paths [--top N] TRACE.json   longest fault critical paths
-//   dfil_report gate BASELINE.json METRICS_*.json
-//   dfil_report --gate BASELINE.json METRICS_*.json
-//                                            counter-regression gate (exit 1 on drift)
+// Inputs come in three shapes: METRICS_*.json (dfil-metrics-v1/-v2, src/core/metrics_io.h),
+// Chrome trace-event JSON (TRACE_*.json, load in Perfetto / chrome://tracing), and
+// FLIGHT_*.json flight-recorder dumps (dfil-flight-v1, written on fuzz/oracle failures).
+// Usage() below is the authoritative subcommand list; flags may appear anywhere on the command
+// line (they are parsed order-insensitively).
 //
-// Metrics files come from bench runs (dfil-metrics-v1, see src/core/metrics_io.h); trace files
-// are Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+// Exit codes:
+//   0  success
+//   1  a gate or check failed (counter drift, malformed trace, broken critical path)
+//   2  usage error (unknown command, missing operands, bad flag)
+//   3  an input could not be read or parsed
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -23,44 +21,83 @@
 
 namespace {
 
+using dfil::report::BuildCriticalPath;
 using dfil::report::CheckChromeTrace;
+using dfil::report::CheckCritpathGate;
 using dfil::report::CheckGate;
+using dfil::report::CriticalPath;
 using dfil::report::ExtractFlows;
+using dfil::report::FlightDump;
 using dfil::report::GateResult;
 using dfil::report::LoadRun;
+using dfil::report::ParseFlight;
 using dfil::report::RunSummary;
 using dfil::report::TraceCheck;
 
+constexpr int kExitOk = 0;
+constexpr int kExitCheckFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: dfil_report <command> [--top N] <files...>\n"
-               "  report      METRICS_*.json   Figure 10 + Figure 9 + latency + hottest pages\n"
-               "  figure10    METRICS_*.json   per-node time breakdown\n"
-               "  figure9     METRICS_*.json   message counts per protocol\n"
-               "  hot         METRICS_*.json   hottest pages\n"
-               "  check-trace TRACE.json...    trace validity check\n"
-               "  paths       TRACE.json...    longest fault critical paths\n"
-               "  gate BASELINE.json METRICS_*.json   counter-regression gate\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: dfil_report <command> [flags] <files...>\n"
+      "\n"
+      "metrics commands (METRICS_*.json, dfil-metrics-v1/-v2):\n"
+      "  report      METRICS_*.json        Figure 10 + fault latency + hottest pages per run,\n"
+      "                                    Figure 9 across runs\n"
+      "  figure10    METRICS_*.json        per-node time breakdown only\n"
+      "  figure9     METRICS_*.json        message counts per protocol only\n"
+      "  hot         METRICS_*.json        hottest pages only\n"
+      "\n"
+      "trace commands (Chrome trace-event JSON):\n"
+      "  check-trace TRACE.json...         structural validity (span nesting, flow arcs)\n"
+      "  paths       TRACE.json...         longest single-fault flow arcs\n"
+      "  critpath    TRACE.json...         end-to-end critical path: per-hop compute /\n"
+      "                                    page-fault / barrier blame and the what-if bound\n"
+      "  blame       TRACE.json...         critical-path residency ranked by cause\n"
+      "                                    (page / barrier epoch / node compute)\n"
+      "\n"
+      "failure forensics (FLIGHT_*.json, dfil-flight-v1):\n"
+      "  flight      FLIGHT.json...        render a flight-recorder dump: oracle violations,\n"
+      "                                    last wait events per node, recent fault injections\n"
+      "\n"
+      "CI gates:\n"
+      "  gate     BASELINE.json METRICS_*.json   counter-regression gate (dfil-gate-v1)\n"
+      "  critpath --check BASELINE.json TRACE.json\n"
+      "                                    gate the path's wait-category shares\n"
+      "                                    (dfil-critpath-gate-v1)\n"
+      "\n"
+      "flags (position-independent):\n"
+      "  --top N          rows/hops to print (default 10)\n"
+      "  --check FILE     critpath only: gate against a dfil-critpath-gate-v1 baseline\n"
+      "\n"
+      "exit codes: 0 ok, 1 gate/check failure, 2 usage error, 3 unreadable/unparseable input\n");
+  return kExitUsage;
 }
 
-bool LoadRuns(const std::vector<std::string>& paths, std::vector<RunSummary>* runs) {
+// Loads every metrics file, or reports the first unreadable one. Returns kExitOk or kExitIo.
+int LoadRuns(const std::vector<std::string>& paths, std::vector<RunSummary>* runs) {
   for (const std::string& path : paths) {
     RunSummary run;
     std::string error;
     if (!LoadRun(path, &run, &error)) {
       std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
-      return false;
+      return kExitIo;
     }
     runs->push_back(std::move(run));
   }
-  return true;
+  return kExitOk;
 }
 
 int CmdMetrics(const std::string& cmd, const std::vector<std::string>& paths, size_t top_n) {
+  if (paths.empty()) {
+    return Usage();
+  }
   std::vector<RunSummary> runs;
-  if (paths.empty() || !LoadRuns(paths, &runs)) {
-    return paths.empty() ? Usage() : 1;
+  if (const int rc = LoadRuns(paths, &runs); rc != kExitOk) {
+    return rc;
   }
   const bool all = cmd == "report";
   for (const RunSummary& run : runs) {
@@ -79,7 +116,7 @@ int CmdMetrics(const std::string& cmd, const std::vector<std::string>& paths, si
   if (all || cmd == "figure9") {
     PrintFigure9(runs, std::cout);
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdTrace(const std::string& cmd, const std::vector<std::string>& paths, size_t top_n) {
@@ -92,7 +129,7 @@ int CmdTrace(const std::string& cmd, const std::vector<std::string>& paths, size
     std::string error;
     if (!dfil::report::ReadFile(path, &text, &error)) {
       std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
-      return 1;
+      return kExitIo;
     }
     if (cmd == "check-trace") {
       TraceCheck check = CheckChromeTrace(text);
@@ -108,7 +145,79 @@ int CmdTrace(const std::string& cmd, const std::vector<std::string>& paths, size
       PrintCriticalPaths(ExtractFlows(text), top_n, std::cout);
     }
   }
-  return ok ? 0 : 1;
+  return ok ? kExitOk : kExitCheckFailed;
+}
+
+int CmdCritpath(const std::string& cmd, const std::vector<std::string>& paths, size_t top_n,
+                const std::string& check_baseline) {
+  if (paths.empty()) {
+    return Usage();
+  }
+  std::string baseline_text;
+  std::string error;
+  if (!check_baseline.empty() &&
+      !dfil::report::ReadFile(check_baseline, &baseline_text, &error)) {
+    std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+    return kExitIo;
+  }
+  bool ok = true;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!dfil::report::ReadFile(path, &text, &error)) {
+      std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+      return kExitIo;
+    }
+    const CriticalPath critpath = BuildCriticalPath(text);
+    if (!critpath.ok && critpath.error.rfind("JSON parse error", 0) == 0) {
+      std::fprintf(stderr, "dfil_report: %s: %s\n", path.c_str(), critpath.error.c_str());
+      return kExitIo;
+    }
+    std::cout << path << ":\n";
+    if (cmd == "blame") {
+      PrintBlame(critpath, top_n, std::cout);
+    } else {
+      PrintCritPath(critpath, top_n, std::cout);
+    }
+    ok = ok && critpath.ok;
+    if (!check_baseline.empty()) {
+      error.clear();
+      GateResult gate = CheckCritpathGate(baseline_text, critpath, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+        return kExitIo;
+      }
+      for (const std::string& line : gate.lines) {
+        std::printf("%s\n", line.c_str());
+      }
+      std::printf("critpath gate: %s\n", gate.ok ? "PASS" : "FAIL");
+      ok = ok && gate.ok;
+    }
+    std::cout << "\n";
+  }
+  return ok ? kExitOk : kExitCheckFailed;
+}
+
+int CmdFlight(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Usage();
+  }
+  for (const std::string& path : paths) {
+    std::string text;
+    std::string error;
+    if (!dfil::report::ReadFile(path, &text, &error)) {
+      std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+      return kExitIo;
+    }
+    FlightDump dump;
+    if (!ParseFlight(text, &dump, &error)) {
+      std::fprintf(stderr, "dfil_report: %s: %s\n", path.c_str(), error.c_str());
+      return kExitIo;
+    }
+    std::cout << path << ":\n";
+    PrintFlight(dump, std::cout);
+    std::cout << "\n";
+  }
+  return kExitOk;
 }
 
 int CmdGate(const std::vector<std::string>& paths) {
@@ -119,21 +228,22 @@ int CmdGate(const std::vector<std::string>& paths) {
   std::string error;
   if (!dfil::report::ReadFile(paths[0], &baseline_text, &error)) {
     std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
-    return 1;
+    return kExitIo;
   }
   std::vector<RunSummary> runs;
-  if (!LoadRuns({paths.begin() + 1, paths.end()}, &runs)) {
-    return 1;
+  if (const int rc = LoadRuns({paths.begin() + 1, paths.end()}, &runs); rc != kExitOk) {
+    return rc;
   }
   GateResult gate = CheckGate(baseline_text, runs, &error);
   if (!error.empty()) {
     std::fprintf(stderr, "dfil_report: %s\n", error.c_str());
+    return kExitIo;
   }
   for (const std::string& line : gate.lines) {
     std::printf("%s\n", line.c_str());
   }
   std::printf("gate: %s\n", gate.ok ? "PASS" : "FAIL");
-  return gate.ok ? 0 : 1;
+  return gate.ok ? kExitOk : kExitCheckFailed;
 }
 
 }  // namespace
@@ -146,13 +256,29 @@ int main(int argc, char** argv) {
   if (cmd == "--gate") {
     cmd = "gate";
   }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    Usage();
+    return kExitOk;
+  }
+  // Flags may appear anywhere after the command; everything else is an input file, in order.
   size_t top_n = 10;
+  std::string check_baseline;
   std::vector<std::string> paths;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
-      top_n = static_cast<size_t>(std::stoul(argv[++i]));
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top_n = static_cast<size_t>(std::strtoul(arg.c_str() + 6, nullptr, 10));
+    } else if (arg == "--check" && i + 1 < argc) {
+      check_baseline = argv[++i];
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check_baseline = arg.substr(8);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dfil_report: unrecognized flag '%s'\n", arg.c_str());
+      return Usage();
     } else {
-      paths.emplace_back(argv[i]);
+      paths.push_back(arg);
     }
   }
   if (cmd == "report" || cmd == "figure10" || cmd == "figure9" || cmd == "hot") {
@@ -160,6 +286,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "check-trace" || cmd == "paths") {
     return CmdTrace(cmd, paths, top_n);
+  }
+  if (cmd == "critpath" || cmd == "blame") {
+    return CmdCritpath(cmd, paths, top_n, check_baseline);
+  }
+  if (cmd == "flight") {
+    return CmdFlight(paths);
   }
   if (cmd == "gate") {
     return CmdGate(paths);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <set>
@@ -151,17 +152,27 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
     return false;
   }
   const json::Value& root = *parsed.value;
-  if (root.GetString("schema") != "dfil-metrics-v1") {
-    *error = "not a dfil-metrics-v1 document (schema=\"" + root.GetString("schema") + "\")";
+  const std::string schema = root.GetString("schema");
+  if (schema != "dfil-metrics-v1" && schema != "dfil-metrics-v2") {
+    *error = "not a dfil-metrics-v1/v2 document (schema=\"" + schema + "\")";
     return false;
   }
+  out->schema_version = schema == "dfil-metrics-v2" ? 2 : 1;
   out->label = root.GetString("label");
   out->pcp = root.GetString("pcp");
   out->nodes = static_cast<int>(root.GetNumber("nodes"));
   out->completed = root.GetNumber("completed") != 0;
   out->makespan_us = root.GetNumber("makespan_us");
+  out->provenance.clear();
   out->cluster_counters.clear();
   out->per_node.clear();
+  if (const json::Value* prov = root.Get("provenance"); prov != nullptr && prov->is_object()) {
+    for (const auto& [key, value] : prov->object) {
+      if (value->is_string()) {
+        out->provenance[key] = value->str;
+      }
+    }
+  }
   if (const json::Value* cluster = root.Get("cluster"); cluster != nullptr) {
     ParseCounters(cluster->Get("counters"), &out->cluster_counters);
   }
@@ -174,9 +185,32 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
     RunSummary::Node node;
     node.node = static_cast<int>(n->GetNumber("node"));
     node.finished_at_us = n->GetNumber("finished_at_us");
+    node.final_clock_us = n->GetNumber("final_clock_us");
+    node.run_us = n->GetNumber("run_us");
+    node.serve_us = n->GetNumber("serve_us");
     if (const json::Value* t = n->Get("time_us"); t != nullptr && t->is_object()) {
       for (const auto& [key, value] : t->object) {
         node.time_us[key] = value->number;
+      }
+    }
+    if (const json::Value* w = n->Get("wait_us"); w != nullptr && w->is_object()) {
+      for (const auto& [key, value] : w->object) {
+        node.wait_us[key] = value->number;
+      }
+    }
+    if (const json::Value* w = n->Get("wait_events"); w != nullptr && w->is_object()) {
+      ParseCounters(w, &node.wait_events);
+    }
+    if (const json::Value* es = n->Get("epochs"); es != nullptr && es->is_array()) {
+      for (const auto& row : es->array) {
+        if (!row->is_object()) {
+          continue;
+        }
+        std::map<std::string, double> cols;
+        for (const auto& [key, value] : row->object) {
+          cols[key] = value->number;
+        }
+        node.epochs.push_back(std::move(cols));
       }
     }
     if (const json::Value* m = n->Get("metrics"); m != nullptr) {
@@ -491,6 +525,466 @@ void PrintCriticalPaths(std::vector<FlowArc> arcs, size_t top_n, std::ostream& o
   }
 }
 
+// ---- End-to-end critical path --------------------------------------------------------------
+
+const char* PathSegmentKindName(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kCompute:
+      return "compute";
+    case PathSegment::Kind::kPageFault:
+      return "page_fault";
+    case PathSegment::Kind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+struct TraceSpan {
+  double b = 0.0;
+  double e = 0.0;
+};
+
+// The three trace shapes the walker consumes, keyed for lookup: per-node completion instants,
+// per-(node, epoch) barrier spans, and per-node fault spans (across all thread tracks — several
+// threads of one node can be blocked faulting concurrently).
+struct CritTrace {
+  std::map<int, double> done_ts;
+  std::map<int, std::map<uint64_t, TraceSpan>> reduces;
+  std::map<int, std::vector<std::pair<TraceSpan, uint64_t>>> faults;
+};
+
+bool ParseCritTrace(const std::string& text, CritTrace* out, std::string* error) {
+  json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    *error = "JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    return false;
+  }
+  const json::Value* events = TraceEvents(*parsed.value);
+  if (events == nullptr) {
+    *error = "no trace event array found";
+    return false;
+  }
+  // Open-span stack per (pid, tid) track; E events carry no name, so the B name rides the stack.
+  std::map<std::pair<int, int64_t>, std::vector<std::pair<std::string, double>>> open;
+  for (const auto& ep : events->array) {
+    const json::Value& e = *ep;
+    const std::string ph = e.GetString("ph");
+    const int pid = static_cast<int>(e.GetNumber("pid", -1));
+    const auto tid = static_cast<int64_t>(e.GetNumber("tid", -1));
+    const double ts = e.GetNumber("ts", 0.0);
+    if (ph == "i") {
+      if (e.GetString("name") == "done" && ts > out->done_ts[pid]) {
+        out->done_ts[pid] = ts;
+      }
+    } else if (ph == "B") {
+      open[{pid, tid}].emplace_back(e.GetString("name"), ts);
+    } else if (ph == "E") {
+      auto& stack = open[{pid, tid}];
+      if (stack.empty()) {
+        continue;  // unbalanced track; CheckChromeTrace is the validity gate, not this parser
+      }
+      const auto [name, begin_ts] = stack.back();
+      stack.pop_back();
+      if (name.rfind("reduce e", 0) == 0) {
+        const uint64_t epoch = std::strtoull(name.c_str() + 8, nullptr, 10);
+        out->reduces[pid][epoch] = TraceSpan{begin_ts, ts};
+      } else if (name.rfind("fault p", 0) == 0) {
+        const uint64_t page = std::strtoull(name.c_str() + 7, nullptr, 10);
+        out->faults[pid].emplace_back(TraceSpan{begin_ts, ts}, page);
+      }
+    }
+  }
+  return true;
+}
+
+// Decomposes the on-node interval [s, e] into page-fault stalls vs compute: fault spans are
+// clipped to the interval and merged where they overlap (concurrent faults from different
+// threads), each merged stall attributed to the page covering the most of it; what no fault
+// covers is compute. The returned segments tile [s, e] exactly, in time order.
+std::vector<PathSegment> DecomposeGap(const CritTrace& t, int node, double s, double e) {
+  std::vector<PathSegment> out;
+  if (e <= s) {
+    return out;
+  }
+  struct Clip {
+    double b, e;
+    uint64_t page;
+  };
+  std::vector<Clip> clips;
+  if (auto it = t.faults.find(node); it != t.faults.end()) {
+    for (const auto& [span, page] : it->second) {
+      if (span.e > s && span.b < e) {
+        clips.push_back({std::max(span.b, s), std::min(span.e, e), page});
+      }
+    }
+  }
+  std::sort(clips.begin(), clips.end(), [](const Clip& a, const Clip& b) { return a.b < b.b; });
+  auto push = [&out, node](PathSegment::Kind kind, double b, double end, uint64_t page) {
+    if (end <= b) {
+      return;  // zero-width: boundaries are shared, so dropping it keeps the tiling exact
+    }
+    PathSegment seg;
+    seg.kind = kind;
+    seg.node = node;
+    seg.start_us = b;
+    seg.end_us = end;
+    seg.page = page;
+    out.push_back(seg);
+  };
+  double cursor = s;
+  for (size_t i = 0; i < clips.size();) {
+    double merged_end = clips[i].e;
+    std::map<uint64_t, double> cover;
+    cover[clips[i].page] += clips[i].e - clips[i].b;
+    size_t j = i + 1;
+    while (j < clips.size() && clips[j].b <= merged_end) {
+      merged_end = std::max(merged_end, clips[j].e);
+      cover[clips[j].page] += clips[j].e - clips[j].b;
+      ++j;
+    }
+    uint64_t page = clips[i].page;
+    double best = -1.0;
+    for (const auto& [p, us] : cover) {
+      if (us > best) {
+        best = us;
+        page = p;
+      }
+    }
+    push(PathSegment::Kind::kCompute, cursor, clips[i].b, 0);
+    push(PathSegment::Kind::kPageFault, clips[i].b, merged_end, page);
+    cursor = merged_end;
+    i = j;
+  }
+  push(PathSegment::Kind::kCompute, cursor, e, 0);
+  return out;
+}
+
+}  // namespace
+
+CriticalPath BuildCriticalPath(const std::string& trace_text) {
+  CriticalPath path;
+  CritTrace t;
+  if (!ParseCritTrace(trace_text, &t, &path.error)) {
+    return path;
+  }
+  if (t.done_ts.empty()) {
+    path.error = "trace has no per-node \"done\" instants (not produced by this runtime?)";
+    return path;
+  }
+  for (const auto& [node, ts] : t.done_ts) {
+    if (ts > path.completion_us) {
+      path.completion_us = ts;
+      path.critical_node = node;
+    }
+  }
+  // Walk backward from the last-finishing node's "done". At each step the interval since the
+  // previous barrier release belongs to the current node; the barrier itself is blamed on the
+  // epoch and the walk jumps to its last arriver — the node that held the release back.
+  constexpr double kEps = 1e-6;
+  std::vector<PathSegment> rev;  // built back-to-front
+  int node = path.critical_node;
+  double anchor = path.completion_us;
+  uint64_t prev_epoch = UINT64_MAX;  // epochs must strictly decrease, guaranteeing termination
+  while (true) {
+    const TraceSpan* release = nullptr;
+    uint64_t epoch = 0;
+    if (auto it = t.reduces.find(node); it != t.reduces.end()) {
+      for (const auto& [ep, span] : it->second) {
+        if (ep < prev_epoch && span.e <= anchor + kEps &&
+            (release == nullptr || span.e > release->e)) {
+          release = &span;
+          epoch = ep;
+        }
+      }
+    }
+    if (release == nullptr) {
+      // No earlier barrier on this node: the chain starts with its initial segment from t = 0.
+      const auto gap = DecomposeGap(t, node, 0.0, anchor);
+      rev.insert(rev.end(), gap.rbegin(), gap.rend());
+      break;
+    }
+    const auto gap = DecomposeGap(t, node, release->e, anchor);
+    rev.insert(rev.end(), gap.rbegin(), gap.rend());
+    // Last arriver for this epoch across all nodes; its entry opens the barrier hop.
+    int last_arriver = node;
+    double entry = release->b;
+    for (const auto& [n, reds] : t.reduces) {
+      if (auto it = reds.find(epoch); it != reds.end() && it->second.b > entry) {
+        entry = it->second.b;
+        last_arriver = n;
+      }
+    }
+    if (entry > release->e + kEps) {
+      path.error = "barrier e" + std::to_string(epoch) + " released on node " +
+                   std::to_string(node) + " before its last arriver entered (malformed trace)";
+      path.segments.clear();
+      return path;
+    }
+    PathSegment hop;
+    hop.kind = PathSegment::Kind::kBarrier;
+    hop.node = node;
+    hop.start_us = std::min(entry, release->e);
+    hop.end_us = release->e;
+    hop.epoch = epoch;
+    if (hop.end_us > hop.start_us) {
+      rev.push_back(hop);
+    }
+    node = last_arriver;
+    anchor = hop.start_us;
+    prev_epoch = epoch;
+  }
+  path.segments.assign(rev.rbegin(), rev.rend());
+  // The invariant the whole analysis rests on: the hops tile [0, completion] with no gap and no
+  // overlap, so their durations sum to the run's virtual completion time.
+  double cursor = 0.0;
+  for (const PathSegment& seg : path.segments) {
+    if (std::abs(seg.start_us - cursor) > 1e-3) {
+      path.error = "path discontinuity at " + FormatUs(seg.start_us) + " us (previous hop ended " +
+                   FormatUs(cursor) + " us)";
+      return path;
+    }
+    cursor = seg.end_us;
+    switch (seg.kind) {
+      case PathSegment::Kind::kCompute:
+        path.compute_us += seg.duration_us();
+        break;
+      case PathSegment::Kind::kPageFault:
+        path.fault_us += seg.duration_us();
+        break;
+      case PathSegment::Kind::kBarrier:
+        path.barrier_us += seg.duration_us();
+        break;
+    }
+  }
+  if (std::abs(cursor - path.completion_us) > 1e-3) {
+    path.error = "path length " + FormatUs(cursor) + " us != completion time " +
+                 FormatUs(path.completion_us) + " us";
+    return path;
+  }
+  path.ok = true;
+  return path;
+}
+
+std::vector<BlameRow> BlamePath(const CriticalPath& path) {
+  std::map<std::string, BlameRow> rows;
+  for (const PathSegment& seg : path.segments) {
+    std::string label;
+    switch (seg.kind) {
+      case PathSegment::Kind::kCompute:
+        label = "compute n" + std::to_string(seg.node);
+        break;
+      case PathSegment::Kind::kPageFault:
+        label = "page " + std::to_string(seg.page);
+        break;
+      case PathSegment::Kind::kBarrier:
+        label = "barrier e" + std::to_string(seg.epoch);
+        break;
+    }
+    BlameRow& row = rows[label];
+    row.label = label;
+    row.us += seg.duration_us();
+    row.hops++;
+  }
+  std::vector<BlameRow> ranked;
+  ranked.reserve(rows.size());
+  for (auto& [label, row] : rows) {
+    ranked.push_back(std::move(row));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const BlameRow& a, const BlameRow& b) {
+    return a.us != b.us ? a.us > b.us : a.label < b.label;
+  });
+  return ranked;
+}
+
+double WhatIfZeroCostPages(const CriticalPath& path) {
+  return path.completion_us - path.fault_us;
+}
+
+namespace {
+
+std::string Pct(double part, double whole) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << (whole > 0.0 ? 100.0 * part / whole : 0.0) << "%";
+  return os.str();
+}
+
+std::string SegmentDetail(const PathSegment& seg) {
+  switch (seg.kind) {
+    case PathSegment::Kind::kPageFault:
+      return "p" + std::to_string(seg.page);
+    case PathSegment::Kind::kBarrier:
+      return "e" + std::to_string(seg.epoch);
+    case PathSegment::Kind::kCompute:
+      break;
+  }
+  return "-";
+}
+
+}  // namespace
+
+void PrintCritPath(const CriticalPath& path, size_t top_n, std::ostream& os) {
+  if (!path.ok) {
+    os << "critical path: UNAVAILABLE — " << path.error << "\n";
+    return;
+  }
+  os << "Critical path: " << FormatUs(path.completion_us) << " us end-to-end, finishing on node "
+     << path.critical_node << " (" << path.segments.size() << " hops)\n";
+  os << "  compute " << FormatUs(path.compute_us) << " us (" << Pct(path.compute_us, path.completion_us)
+     << "), page_fault " << FormatUs(path.fault_us) << " us ("
+     << Pct(path.fault_us, path.completion_us) << "), barrier " << FormatUs(path.barrier_us)
+     << " us (" << Pct(path.barrier_us, path.completion_us) << ")\n";
+  os << "  what-if zero-cost page serves: " << FormatUs(WhatIfZeroCostPages(path)) << " us ("
+     << Pct(path.fault_us, path.completion_us) << " faster)\n";
+  // The top_n longest hops, each tagged with its position on the path so the reader can line
+  // them up with the full timeline.
+  std::vector<size_t> order(path.segments.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&path](size_t a, size_t b) {
+    return path.segments[a].duration_us() > path.segments[b].duration_us();
+  });
+  os << std::setw(8) << "hop" << std::setw(12) << "kind" << std::setw(8) << "node" << std::setw(10)
+     << "detail" << std::setw(14) << "start_us" << std::setw(14) << "dur_us" << std::setw(9)
+     << "share" << "\n";
+  for (size_t i = 0; i < order.size() && i < top_n; ++i) {
+    const PathSegment& seg = path.segments[order[i]];
+    os << std::setw(8) << ("#" + std::to_string(order[i])) << std::setw(12)
+       << PathSegmentKindName(seg.kind) << std::setw(8) << seg.node << std::setw(10)
+       << SegmentDetail(seg) << std::setw(14) << FormatUs(seg.start_us) << std::setw(14)
+       << FormatUs(seg.duration_us()) << std::setw(9) << Pct(seg.duration_us(), path.completion_us)
+       << "\n";
+  }
+}
+
+void PrintBlame(const CriticalPath& path, size_t top_n, std::ostream& os) {
+  if (!path.ok) {
+    os << "blame: UNAVAILABLE — " << path.error << "\n";
+    return;
+  }
+  const std::vector<BlameRow> ranked = BlamePath(path);
+  os << "Critical-path blame (" << FormatUs(path.completion_us) << " us total, " << ranked.size()
+     << " causes)\n";
+  os << std::left << std::setw(20) << "cause" << std::right << std::setw(14) << "path_us"
+     << std::setw(9) << "share" << std::setw(8) << "hops" << "\n";
+  for (size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const BlameRow& row = ranked[i];
+    os << std::left << std::setw(20) << row.label << std::right << std::setw(14)
+       << FormatUs(row.us) << std::setw(9) << Pct(row.us, path.completion_us) << std::setw(8)
+       << row.hops << "\n";
+  }
+}
+
+// ---- Flight-recorder dumps -----------------------------------------------------------------
+
+bool ParseFlight(const std::string& text, FlightDump* out, std::string* error) {
+  json::ParseResult parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    *error = "JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    return false;
+  }
+  const json::Value& root = *parsed.value;
+  if (root.GetString("schema") != "dfil-flight-v1") {
+    *error = "not a dfil-flight-v1 document (schema=\"" + root.GetString("schema") + "\")";
+    return false;
+  }
+  out->label = root.GetString("label");
+  out->at_violation = root.GetNumber("at_violation") != 0;
+  out->violations.clear();
+  out->nodes.clear();
+  out->injections.clear();
+  if (const json::Value* v = root.Get("violations"); v != nullptr && v->is_array()) {
+    for (const auto& item : v->array) {
+      if (item->is_string()) {
+        out->violations.push_back(item->str);
+      }
+    }
+  }
+  if (const json::Value* nodes = root.Get("nodes"); nodes != nullptr && nodes->is_array()) {
+    for (const auto& n : nodes->array) {
+      FlightDump::NodeLog log;
+      log.node = static_cast<int>(n->GetNumber("node"));
+      if (const json::Value* events = n->Get("events"); events != nullptr && events->is_array()) {
+        for (const auto& e : events->array) {
+          FlightDump::Event event;
+          event.kind = e->GetString("kind");
+          event.detail = static_cast<uint64_t>(e->GetNumber("detail"));
+          event.start_us = e->GetNumber("start_us");
+          event.end_us = e->GetNumber("end_us");
+          log.events.push_back(std::move(event));
+        }
+      }
+      out->nodes.push_back(std::move(log));
+    }
+  }
+  if (const json::Value* inj = root.Get("injections"); inj != nullptr && inj->is_array()) {
+    for (const auto& i : inj->array) {
+      FlightDump::Injection note;
+      note.what = i->GetString("what");
+      note.klass = i->GetString("class");
+      note.type = static_cast<uint32_t>(i->GetNumber("type"));
+      note.src = static_cast<int>(i->GetNumber("src"));
+      note.dst = static_cast<int>(i->GetNumber("dst"));
+      note.at_us = i->GetNumber("at_us");
+      out->injections.push_back(std::move(note));
+    }
+  }
+  return true;
+}
+
+void PrintFlight(const FlightDump& dump, std::ostream& os) {
+  os << "Flight recorder: " << dump.label << " — captured "
+     << (dump.at_violation ? "at first oracle violation" : "at end of run") << "\n";
+  if (!dump.violations.empty()) {
+    os << dump.violations.size() << " violation(s):\n";
+    for (const std::string& v : dump.violations) {
+      os << "  ! " << v << "\n";
+    }
+  }
+  // Interleave the per-node wait rings and the injection log into one timeline, ordered by the
+  // instant each entry completed — the shape of the cluster's final moments.
+  struct Line {
+    double ts;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  size_t events = 0;
+  for (const FlightDump::NodeLog& log : dump.nodes) {
+    for (const FlightDump::Event& e : log.events) {
+      events++;
+      std::ostringstream text;
+      text << std::fixed << std::setprecision(1) << std::setw(14) << e.end_us << "  n" << log.node
+           << " " << e.kind;
+      if (e.kind == "page_fault") {
+        text << " p" << e.detail;
+      } else if (e.kind == "barrier") {
+        text << " e" << e.detail;
+      } else if (e.detail != 0) {
+        text << " d" << e.detail;
+      }
+      text << " (" << FormatUs(e.end_us - e.start_us) << " us)";
+      lines.push_back({e.end_us, text.str()});
+    }
+  }
+  for (const FlightDump::Injection& i : dump.injections) {
+    std::ostringstream text;
+    text << std::fixed << std::setprecision(1) << std::setw(14) << i.at_us << "  inject " << i.what
+         << " " << i.klass << " svc" << i.type << " n" << i.src << "->n" << i.dst;
+    lines.push_back({i.at_us, text.str()});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.ts < b.ts; });
+  os << events << " wait event(s) across " << dump.nodes.size() << " node(s), "
+     << dump.injections.size() << " injection(s):\n";
+  for (const Line& line : lines) {
+    os << line.text << "\n";
+  }
+}
+
 // ---- CI regression gate --------------------------------------------------------------------
 
 GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
@@ -546,6 +1040,66 @@ GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSumm
       if (drift > tolerance) {
         out.ok = false;
       }
+    }
+  }
+  return out;
+}
+
+GateResult CheckCritpathGate(const std::string& baseline_text, const CriticalPath& path,
+                             std::string* error) {
+  GateResult out;
+  json::ParseResult parsed = json::Parse(baseline_text);
+  if (!parsed.ok()) {
+    *error = "baseline JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    out.ok = false;
+    return out;
+  }
+  const json::Value& root = *parsed.value;
+  if (root.GetString("schema") != "dfil-critpath-gate-v1") {
+    *error = "baseline is not a dfil-critpath-gate-v1 document";
+    out.ok = false;
+    return out;
+  }
+  if (!path.ok) {
+    out.ok = false;
+    out.lines.push_back("FAIL critpath: " + path.error);
+    return out;
+  }
+  out.lines.push_back("ok   critpath: " + std::to_string(path.segments.size()) + " hops tile [0, " +
+                      FormatUs(path.completion_us) + " us] with no gaps");
+  const double tolerance_pp = root.GetNumber("tolerance_pp", 10.0);
+  const json::Value* shares = root.Get("shares_pct");
+  if (shares == nullptr || !shares->is_object()) {
+    *error = "baseline has no shares_pct object";
+    out.ok = false;
+    return out;
+  }
+  const double denom = path.completion_us > 0.0 ? path.completion_us : 1.0;
+  const std::map<std::string, double> actual = {
+      {"compute", 100.0 * path.compute_us / denom},
+      {"page_fault", 100.0 * path.fault_us / denom},
+      {"barrier", 100.0 * path.barrier_us / denom},
+  };
+  for (const auto& [kind, expected_value] : shares->object) {
+    if (!expected_value->is_number()) {
+      continue;
+    }
+    auto it = actual.find(kind);
+    if (it == actual.end()) {
+      out.ok = false;
+      out.lines.push_back("FAIL critpath " + kind + ": unknown wait category in baseline");
+      continue;
+    }
+    const double expected = expected_value->number;
+    const double drift = std::abs(it->second - expected);
+    std::ostringstream line;
+    line << (drift > tolerance_pp ? "FAIL " : "ok   ") << "critpath " << kind << " share: expected "
+         << std::fixed << std::setprecision(1) << expected << "pp, got " << it->second << "pp (±"
+         << tolerance_pp << "pp)";
+    out.lines.push_back(line.str());
+    if (drift > tolerance_pp) {
+      out.ok = false;
     }
   }
   return out;

@@ -37,20 +37,29 @@ struct HistSummary {
   double Percentile(double p) const;
 };
 
-// A parsed dfil-metrics-v1 document.
+// A parsed dfil-metrics-v1 or -v2 document. v2-only fields (provenance, the wait-state ledgers,
+// final_clock_us, epochs) stay zero/empty when a v1 file is loaded.
 struct RunSummary {
   std::string path;   // file it was loaded from (diagnostics)
   std::string label;
   std::string pcp;
+  int schema_version = 1;
   int nodes = 0;
   bool completed = false;
   double makespan_us = 0.0;
+  std::map<std::string, std::string> provenance;
   std::map<std::string, uint64_t> cluster_counters;
 
   struct Node {
     int node = 0;
     double finished_at_us = 0.0;
+    double final_clock_us = 0.0;                      // v2: clock at end of run (incl. tail)
     std::map<std::string, double> time_us;            // Figure 10 categories
+    double run_us = 0.0;                              // v2 wait-state ledgers:
+    double serve_us = 0.0;                            //   run + serve + sum(wait_us) ==
+    std::map<std::string, double> wait_us;            //   final_clock_us
+    std::map<std::string, uint64_t> wait_events;      // blocked-interval counts by kind
+    std::vector<std::map<std::string, double>> epochs;  // per-sync-point time series rows
     std::map<std::string, uint64_t> counters;
     std::map<std::string, HistSummary> histograms;
     std::vector<std::pair<uint64_t, uint64_t>> page_heat;  // (page, demand faults)
@@ -111,6 +120,98 @@ std::vector<FlowArc> ExtractFlows(const std::string& text);
 // The top_n longest arcs — the fault critical paths that gate the run.
 void PrintCriticalPaths(std::vector<FlowArc> arcs, size_t top_n, std::ostream& os);
 
+// ---- End-to-end critical path --------------------------------------------------------------
+
+// One hop of the run's critical path: an interval on one node's timeline, classified as compute,
+// a page-fault stall (detail: the page), or a barrier gap (detail: the epoch; the interval runs
+// from the last arriver's entry to the release on the node the walk is on). A page-fault hop is
+// fault *residency* — time during which at least one demand fault was outstanding on the node.
+// Other threads of the node may execute under it (communication/computation overlap), so the
+// what-if bound below is optimistic by construction.
+struct PathSegment {
+  enum class Kind { kCompute, kPageFault, kBarrier };
+  Kind kind = Kind::kCompute;
+  int node = -1;
+  double start_us = 0.0;
+  double end_us = 0.0;
+  uint64_t page = 0;   // kPageFault only
+  uint64_t epoch = 0;  // kBarrier only
+
+  double duration_us() const { return end_us - start_us; }
+};
+const char* PathSegmentKindName(PathSegment::Kind kind);
+
+// The longest dependency chain through the run, reconstructed from a Chrome trace. The builder
+// anchors at the latest per-node "done" instant, walks backward through the epoch-stamped
+// "reduce e<K>" spans — each barrier hop jumps to that epoch's last arriver, the node that held
+// the release back — and decomposes every inter-barrier gap into "fault p<P>" stalls vs compute.
+// Segments are contiguous by construction: they tile [0, completion_us] exactly, so
+// sum(duration) == completion_us (the run's virtual completion time). Violations of that
+// invariant (a malformed trace) surface as ok = false.
+struct CriticalPath {
+  bool ok = false;
+  std::string error;                  // set when !ok
+  int critical_node = -1;             // node whose "done" instant is latest
+  double completion_us = 0.0;         // max per-node done timestamp
+  double compute_us = 0.0;            // segment-duration sums by kind
+  double fault_us = 0.0;
+  double barrier_us = 0.0;
+  std::vector<PathSegment> segments;  // time order, from ts 0 to completion_us
+};
+CriticalPath BuildCriticalPath(const std::string& trace_text);
+
+// Blame view: path segments aggregated by cause — "page <p>", "barrier e<k>", "compute n<i>" —
+// ranked by total critical-path residency, largest first.
+struct BlameRow {
+  std::string label;
+  double us = 0.0;
+  uint64_t hops = 0;  // path segments aggregated into this row
+};
+std::vector<BlameRow> BlamePath(const CriticalPath& path);
+
+// What-if lower bound: completion time with every page serve made free (all fault segments
+// excised from the path). Barrier hops are kept — they bound even a perfect-DSM run.
+double WhatIfZeroCostPages(const CriticalPath& path);
+
+void PrintCritPath(const CriticalPath& path, size_t top_n, std::ostream& os);
+void PrintBlame(const CriticalPath& path, size_t top_n, std::ostream& os);
+
+// ---- Flight-recorder dumps -----------------------------------------------------------------
+
+// A parsed dfil-flight-v1 document (src/core/metrics_io.h WriteFlightJson): the last wait events
+// per node plus recent fault-injection decisions, captured at the first oracle violation or at
+// end of run.
+struct FlightDump {
+  std::string label;
+  bool at_violation = false;
+  std::vector<std::string> violations;
+
+  struct Event {
+    std::string kind;      // WaitKindName: "page_fault", "barrier", ...
+    uint64_t detail = 0;   // page / epoch / service, kind-dependent
+    double start_us = 0.0;
+    double end_us = 0.0;
+  };
+  struct NodeLog {
+    int node = 0;
+    std::vector<Event> events;  // oldest first
+  };
+  std::vector<NodeLog> nodes;
+
+  struct Injection {
+    std::string what;   // "drop", "dup", "delay", "stall"
+    std::string klass;  // "request", "reply", ...
+    uint32_t type = 0;
+    int src = 0;
+    int dst = 0;
+    double at_us = 0.0;
+  };
+  std::vector<Injection> injections;  // oldest first
+};
+bool ParseFlight(const std::string& text, FlightDump* out, std::string* error);
+// Renders the dump as an interleaved, time-ordered last-moments timeline.
+void PrintFlight(const FlightDump& dump, std::ostream& os);
+
 // ---- CI regression gate --------------------------------------------------------------------
 
 // Baseline format (dfil-gate-v1):
@@ -124,6 +225,14 @@ struct GateResult {
 };
 GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
                      std::string* error);
+
+// critpath CI gate. Baseline format (dfil-critpath-gate-v1):
+//   {"schema": "dfil-critpath-gate-v1", "tolerance_pp": 10.0,
+//    "shares_pct": {"compute": 60.0, "page_fault": 25.0, "barrier": 15.0}}
+// Passes when the path is structurally valid and each kind's share of the path (in percentage
+// points of completion time) is within tolerance_pp of its expectation.
+GateResult CheckCritpathGate(const std::string& baseline_text, const CriticalPath& path,
+                             std::string* error);
 
 }  // namespace dfil::report
 
