@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     }
     for (bool steal : {true, false}) {
       core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
-      cfg.steal_enabled = steal;
+      cfg.fj.steal_enabled = steal;
       args.Apply(cfg);
       apps::AppRun run = apps::RunQuadratureDf(q, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     t.matrix_dim = quick ? 24 : 70;
     for (bool steal : {false, true}) {
       core::ClusterConfig cfg = bench::PaperConfig(8);
-      cfg.steal_enabled = steal;
+      cfg.fj.steal_enabled = steal;
       apps::AppRun run = apps::RunExprTreeDf(t, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;
       std::printf("expression tree (balanced), steal %-3s %7.2f s   (paper: balancing does not "
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     q.tolerance = quick ? 1e-7 : 1e-8;  // moderate size: pruning effects dominate at small tasks
     for (int threshold : {1, 2, 4, 16, 64}) {
       core::ClusterConfig cfg = bench::PaperConfig(args.NodesOr(8));
-      cfg.prune_threshold = threshold;
+      cfg.fj.prune_threshold = threshold;
       args.Apply(cfg);
       apps::AppRun run = apps::RunQuadratureDf(q, cfg);
       DFIL_CHECK(run.report.completed) << run.report.deadlock_report;

@@ -31,7 +31,7 @@ void MeasureSimulatedCosts() {
   {
     core::Cluster cluster(bench::PaperConfig(1));
     core::RunReport r = cluster.Run([&](core::NodeEnv& env) {
-      const int pool = env.CreatePool();
+      const core::PoolHandle pool = env.CreatePool();
       const SimTime before_create = env.Now();
       for (int i = 0; i < kN; ++i) {
         env.CreateFilament(pool, &NopFilament, i, 0, 0);
@@ -59,7 +59,7 @@ void MeasureSimulatedCosts() {
     core::Cluster cluster(bench::PaperConfig(1));
     SimTime total = 0;
     core::RunReport r = cluster.Run([&](core::NodeEnv& env) {
-      const int pool = env.CreatePool();
+      const core::PoolHandle pool = env.CreatePool();
       for (int i = 0; i < kN; ++i) {
         // Non-affine argument pattern: strips cannot form.
         env.CreateFilament(pool, &NopFilament, (i * i) % 97, 0, 0);

@@ -29,12 +29,14 @@ namespace dfil::bench {
 //   --seed=N         cluster RNG seed
 //   --metrics        emit METRICS_<label>.json artifacts for runs that skip them by default
 //   --coalesce       enable per-destination frame coalescing (DESIGN.md §11)
+//   --balance        enable epoch-driven load balancing (DESIGN.md §13; implies wait-state)
 // Unknown --flags abort with the usage text; bare values are ignored (google-benchmark benches
 // pass their own argv through their framework first).
 struct BenchArgs {
   bool quick = false;
   bool metrics = false;
   bool coalesce = false;
+  bool balance = false;
   int nodes = 0;                // 0 = bench default
   std::optional<dsm::Pcp> pcp;  // unset = bench default
   int page_shift = 0;           // 0 = bench default
@@ -54,6 +56,10 @@ struct BenchArgs {
     }
     if (coalesce) {
       cfg.coalesce.enabled = true;
+    }
+    if (balance) {
+      cfg.balancer.enabled = true;
+      cfg.waitstate_enabled = true;  // the balancer's signal (Validate insists on it)
     }
   }
 
@@ -81,7 +87,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     std::fprintf(stderr,
                  "%s: unrecognized option '%s'\n"
                  "usage: %s [--quick] [--nodes=N] [--pcp=mig|wi|ii|diff] [--pages=SHIFT]"
-                 " [--seed=N] [--metrics] [--coalesce]\n",
+                 " [--seed=N] [--metrics] [--coalesce] [--balance]\n",
                  argv[0], bad.c_str(), argv[0]);
     std::exit(2);
   };
@@ -97,6 +103,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.metrics = true;
     } else if (key == "--coalesce") {
       args.coalesce = true;
+    } else if (key == "--balance") {
+      args.balance = true;
     } else if (key == "--nodes") {
       args.nodes = std::atoi(value.c_str());
     } else if (key == "--pcp") {
@@ -246,6 +254,7 @@ inline std::map<std::string, std::string> ProvenanceOf(const BenchArgs& args) {
   std::map<std::string, std::string> p;
   p["cli.quick"] = args.quick ? "1" : "0";
   p["cli.coalesce"] = args.coalesce ? "1" : "0";
+  p["cli.balance"] = args.balance ? "1" : "0";
   if (args.nodes > 0) {
     p["cli.nodes"] = std::to_string(args.nodes);
   }

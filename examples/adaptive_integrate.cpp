@@ -44,7 +44,7 @@ int main() {
   core::ClusterConfig cfg;
   cfg.nodes = 8;
   cfg.wake_at_front = true;   // fork/join anti-thrashing wake policy
-  cfg.steal_enabled = true;   // imbalanced workload: stealing is essential here
+  cfg.fj.steal_enabled = true;   // imbalanced workload: stealing is essential here
   core::Cluster cluster(cfg);
 
   double integral = 0;

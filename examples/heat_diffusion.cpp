@@ -79,10 +79,10 @@ int main() {
     const int first = std::max(lo, 1);
     const int last = std::min(hi, kN - 1);
     if (first < last) {
-      const int top = env.CreatePool();
-      const int bottom = env.CreatePool();
-      const int interior = env.CreatePool();
-      auto fill = [&](int pool, int i) {
+      const core::PoolHandle top = env.CreatePool();
+      const core::PoolHandle bottom = env.CreatePool();
+      const core::PoolHandle interior = env.CreatePool();
+      auto fill = [&](core::PoolHandle pool, int i) {
         for (int j = 1; j < kN - 1; ++j) {
           env.CreateFilament(pool, &RelaxPoint, i, j);
         }

@@ -56,7 +56,7 @@ int main() {
   cfg.nodes = 8;
   cfg.dsm.pcp = dsm::Pcp::kMigratory;
   cfg.wake_at_front = true;
-  cfg.steal_enabled = false;  // balanced tree: page acquisition would outweigh the balance gain
+  cfg.fj.steal_enabled = false;  // balanced tree: page acquisition would outweigh the balance gain
   core::Cluster cluster(cfg);
 
   g_data = core::GlobalArray1D<int64_t>::Alloc(cluster.layout(), kElements, "data");

@@ -47,7 +47,7 @@ int main() {
     const int per = kElements / env.nodes();
     const int lo = env.node() * per;
     const int hi = env.node() == env.nodes() - 1 ? kElements : lo + per;
-    const int pool = env.CreatePool();
+    const core::PoolHandle pool = env.CreatePool();
     for (int i = lo; i < hi; ++i) {
       env.CreateFilament(pool, &SquareElement, i);
     }

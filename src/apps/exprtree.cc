@@ -180,7 +180,7 @@ AppRun RunExprTreeDf(const ExprTreeParams& p, const ClusterConfig& base) {
   ClusterConfig cfg = base;
   cfg.dsm.pcp = dsm::Pcp::kMigratory;  // the paper's choice for this application
   cfg.wake_at_front = true;
-  cfg.steal_enabled = false;  // balanced workload: page acquisition outweighs balancing (§2.3)
+  cfg.fj.steal_enabled = false;  // balanced workload: page acquisition outweighs balancing (§2.3)
   Cluster cluster(cfg);
   const int dim = p.matrix_dim;
   const int leaves = 1 << p.height;

@@ -188,9 +188,27 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
     // production 100ms fixed timeout, which would pin every estimated RTO at the 40ms max here).
     cfg.packet.rto_min = cfg.packet.retransmit_timeout;
   }
+  // Load-balancer dimension (DESIGN.md §13), likewise drawn from its own derived stream. Knobs
+  // are drawn aggressive (low trigger, short patience/cooldown) so the tiny fuzz problems really
+  // do emit plans, migrate pools, and re-home pages while every fault scenario is active —
+  // the output must stay bitwise equal to the sequential reference regardless.
+  Rng balance_rng(seed ^ HashName(scenario) ^ HashName("balance"));
+  if (balance_rng.NextBernoulli(0.35)) {
+    cfg.balancer.enabled = true;
+    cfg.waitstate_enabled = true;  // the balancer's signal; Validate insists on it
+    cfg.balancer.balance_trigger_ratio = 0.05 + 0.25 * balance_rng.NextDouble();
+    cfg.balancer.balance_patience_epochs = 1 + static_cast<int>(balance_rng.NextBounded(3));
+    cfg.balancer.balance_cooldown_epochs = 1 + static_cast<int>(balance_rng.NextBounded(4));
+    cfg.balancer.balance_move_fraction = 0.25 + 0.5 * balance_rng.NextDouble();
+    cfg.balancer.balance_rehome_pages = balance_rng.NextBernoulli(0.75);
+  }
   if (opts.max_virtual_time > 0) {
     cfg.max_virtual_time = opts.max_virtual_time;
   }
+  // Every generated config must pass the same validation Cluster enforces at construction; a
+  // draw that can produce an invalid combination is a bug in this driver, not in the run.
+  DFIL_CHECK(cfg.Validate().empty())
+      << "fuzz driver drew an invalid config: " << cfg.Validate().front();
 
   dsm::CoherenceOracle oracle;
   cfg.coherence_oracle = &oracle;
@@ -244,7 +262,7 @@ FuzzResult RunFuzzCase(const std::string& scenario, uint64_t seed, const FuzzOpt
   desc << " pcp=" << dsm::PcpName(cfg.dsm.pcp) << " nodes=" << cfg.nodes
        << " ps=" << cfg.page_shift << (cfg.dsm.prefetch_detector ? " prefetch" : "")
        << (cfg.dsm.adapt_protocols ? " adapt" : "")
-       << (cfg.coalesce.enabled ? " coalesce" : "")
+       << (cfg.coalesce.enabled ? " coalesce" : "") << (cfg.balancer.enabled ? " balance" : "")
        << (cfg.barrier == core::ClusterConfig::BarrierKind::kCentral ? " central" : " tournament");
   result.config_desc = desc.str();
 

@@ -243,10 +243,10 @@ AppRun RunJacobiDf(const JacobiParams& p, const ClusterConfig& base) {
         // the neighbour's page; the interior pool overlaps those fetches. pools=1 disables the
         // overlap (Figure 12's ablation).
         const bool three = p.pools >= 3 && last - first >= 3;
-        const int top_pool = env.CreatePool();
-        const int bottom_pool = three ? env.CreatePool() : top_pool;
-        const int interior_pool = three ? env.CreatePool() : top_pool;
-        auto fill_row = [&](int pool, int i) {
+        const core::PoolHandle top_pool = env.CreatePool();
+        const core::PoolHandle bottom_pool = three ? env.CreatePool() : top_pool;
+        const core::PoolHandle interior_pool = three ? env.CreatePool() : top_pool;
+        auto fill_row = [&](core::PoolHandle pool, int i) {
           for (int j = 1; j < n - 1; ++j) {
             env.CreateFilament(pool, &PointFilament, i, j, 0);
           }

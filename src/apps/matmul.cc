@@ -201,7 +201,7 @@ AppRun RunMatmulDf(const MatmulParams& p, const ClusterConfig& base) {
 
     const Strip strip = StripOf(n, env.node(), env.nodes());
     const int pools = std::max(1, std::min(p.pools_per_node, strip.size()));
-    std::vector<int> pool_ids(pools);
+    std::vector<core::PoolHandle> pool_ids(pools);
     for (int q = 0; q < pools; ++q) {
       pool_ids[q] = env.CreatePool();
     }

@@ -282,7 +282,7 @@ AppRun RunQuadratureCgBag(const QuadratureParams& p, const ClusterConfig& base) 
 AppRun RunQuadratureDf(const QuadratureParams& p, const ClusterConfig& base) {
   ClusterConfig cfg = base;
   cfg.wake_at_front = true;  // fork/join anti-thrashing policy
-  cfg.steal_enabled = true;  // adaptive quadrature is the paper's case where stealing is vital
+  cfg.fj.steal_enabled = true;  // adaptive quadrature is the paper's case where stealing is vital
   Cluster cluster(cfg);
   AppRun run;
   std::vector<double> evals(cfg.nodes, 0.0);

@@ -134,10 +134,10 @@ AppRun RunSorDf(const SorParams& p, const ClusterConfig& base) {
     if (first < last) {
       // Edge rows fault on neighbour pages; interior overlaps — same structure as Jacobi, but
       // here the sharing repeats twice per iteration (once per colour).
-      const int top = env.CreatePool();
-      const int bottom = env.CreatePool();
-      const int interior = env.CreatePool();
-      auto fill = [&](int pool, int i) {
+      const core::PoolHandle top = env.CreatePool();
+      const core::PoolHandle bottom = env.CreatePool();
+      const core::PoolHandle interior = env.CreatePool();
+      auto fill = [&](core::PoolHandle pool, int i) {
         for (int j = 1; j < n - 1; ++j) {
           env.CreateFilament(pool, &SorFilament, i, j, 0);
         }

@@ -124,6 +124,14 @@ struct DsmStats {
   uint64_t adapter_switches_to_diff = 0;   // page groups this owner flipped implicit-inv -> diff
   uint64_t adapter_switches_to_ii = 0;     // page groups flipped back after calm epochs
 
+  // Rebalance page re-homing (load balancer, DESIGN.md §13). All zero when the balancer is off.
+  uint64_t pages_rehomed = 0;           // requester side: ownership transfers installed
+  uint64_t rehome_requests = 0;         // kRehomePages batches sent
+  uint64_t rehome_pages_requested = 0;  // pages covered by those batches
+  uint64_t rehome_pages_served = 0;     // source side: transfers shipped inside rehome replies
+  uint64_t rehome_misses = 0;           // requester side: pages the source could not release
+  uint64_t rehome_misses_served = 0;    // source side: pages it reported back as misses
+
   // Page-content payload bytes this node shipped: full pages inside data/bulk replies plus diff
   // run bytes. The false-sharing bench's headline metric — diff ships O(bytes changed) where the
   // single-writer protocols ship whole pages.

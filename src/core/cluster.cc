@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
 #include "src/dsm/coherence_oracle.h"
 
 namespace dfil::core {
@@ -23,8 +24,13 @@ const char* BarrierName(ClusterConfig::BarrierKind k) {
 }  // namespace
 
 Cluster::Cluster(const ClusterConfig& config) : config_(config), layout_(config.page_shift) {
-  DFIL_CHECK_GT(config_.nodes, 0);
-  DFIL_CHECK_LE(config_.nodes, 64) << "copysets and reductions support at most 64 nodes";
+  const std::vector<std::string> errors = config_.Validate();
+  for (const std::string& error : errors) {
+    DFIL_LOG(kError, "core") << "invalid ClusterConfig: " << error;
+  }
+  DFIL_CHECK(errors.empty()) << "invalid ClusterConfig (" << errors.size() << " error"
+                             << (errors.size() == 1 ? "" : "s") << "; first: " << errors.front()
+                             << ")";
 }
 
 Cluster::~Cluster() = default;
@@ -42,14 +48,8 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   } else {
     net = std::make_unique<sim::SwitchedNetwork>(config_.costs, config_.nodes);
   }
-  sim::FaultPlan plan = config_.fault_plan;
-  if (plan.loss_rate == 0.0) {
-    plan.loss_rate = config_.loss_rate;  // legacy knob
-  }
-  if (plan.seed == 0) {
-    plan.seed = config_.seed ^ 0x9E3779B97F4A7C15ULL;
-  }
-  machine_ = std::make_unique<sim::Machine>(std::move(net), config_.costs, std::move(plan));
+  machine_ = std::make_unique<sim::Machine>(std::move(net), config_.costs,
+                                            config_.EffectiveFaultPlan());
 
   std::shared_ptr<TraceRecorder> trace;
   if (config_.trace_enabled) {
@@ -119,7 +119,8 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   report.provenance["barrier"] = BarrierName(config_.barrier);
   report.provenance["coalesce"] = config_.coalesce.enabled ? "on" : "off";
   report.provenance["waitstate"] = config_.waitstate_enabled ? "on" : "off";
-  report.provenance["loss_rate"] = std::to_string(config_.loss_rate);
+  report.provenance["balancer"] = config_.balancer.enabled ? "on" : "off";
+  report.provenance["loss_rate"] = std::to_string(config_.EffectiveFaultPlan().loss_rate);
   for (auto& node : nodes_) {
     NodeReport nr;
     nr.node = node->id();

@@ -1,0 +1,106 @@
+#include "src/core/config.h"
+
+#include <string>
+
+namespace dfil::core {
+namespace {
+
+// True when the plan can make a raw broadcast frame vanish (drop, burst loss, or a rule with a
+// nonzero drop probability): the done broadcast then needs per-node reliable delivery.
+bool PlanCanDropFrames(const sim::FaultPlan& plan) {
+  if (plan.loss_rate > 0.0 || plan.burst.enabled()) {
+    return true;
+  }
+  for (const sim::FaultRule& rule : plan.rules) {
+    if (rule.drop > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InUnitInterval(double v) { return v >= 0.0 && v <= 1.0; }
+
+}  // namespace
+
+sim::FaultPlan ClusterConfig::EffectiveFaultPlan() const {
+  sim::FaultPlan plan = fault_plan;
+  if (plan.loss_rate == 0.0) {
+    plan.loss_rate = loss_rate;  // deprecated alias, kept one release
+  }
+  if (plan.seed == 0) {
+    plan.seed = seed ^ 0x9E3779B97F4A7C15ULL;  // derived, so `seed` alone replays the run
+  }
+  return plan;
+}
+
+std::vector<std::string> ClusterConfig::Validate() const {
+  std::vector<std::string> errors;
+  const auto reject = [&errors](const std::string& what) { errors.push_back(what); };
+
+  if (nodes < 1) {
+    reject("nodes must be >= 1 (got " + std::to_string(nodes) + ")");
+  } else if (nodes > 64) {
+    reject("nodes must be <= 64 (copysets are 64-bit masks; got " + std::to_string(nodes) + ")");
+  }
+  if (page_shift < 6 || page_shift > 20) {
+    reject("page_shift must be in [6, 20] (got " + std::to_string(page_shift) +
+           "); pages below 64 B thrash the directory, above 1 MB defeat fine-grain sharing");
+  }
+  if (max_server_threads < 1) {
+    reject("max_server_threads must be >= 1 (got " + std::to_string(max_server_threads) + ")");
+  }
+
+  const sim::FaultPlan plan = EffectiveFaultPlan();
+  if (!InUnitInterval(plan.loss_rate)) {
+    reject("fault plan loss_rate must be a probability in [0, 1] (got " +
+           std::to_string(plan.loss_rate) + ")");
+  }
+  if (fault_plan.loss_rate != 0.0 && loss_rate != 0.0 &&
+      fault_plan.loss_rate != loss_rate) {
+    reject("loss_rate (deprecated) and fault_plan.loss_rate disagree; set only "
+           "fault_plan.loss_rate");
+  }
+  if (PlanCanDropFrames(plan) && !reliable_broadcast) {
+    reject("reliable_broadcast is required when the fault plan can drop frames: a lost done "
+           "broadcast hangs every barrier");
+  }
+
+  if (coalesce.enabled) {
+    if (coalesce.max_datagram_bytes < 256) {
+      reject("coalesce.max_datagram_bytes must be >= 256 (got " +
+             std::to_string(coalesce.max_datagram_bytes) + "); smaller than any single frame");
+    }
+    if (coalesce.request_hold < 0 || coalesce.ack_hold < 0 || coalesce.mutual_window < 0) {
+      reject("coalesce hold windows must be non-negative");
+    }
+  }
+
+  if (balancer.enabled) {
+    if (!InUnitInterval(balancer.balance_trigger_ratio) || balancer.balance_trigger_ratio <= 0.0) {
+      reject("balancer.balance_trigger_ratio must be in (0, 1] (got " +
+             std::to_string(balancer.balance_trigger_ratio) + ")");
+    }
+    if (balancer.balance_patience_epochs < 1) {
+      reject("balancer.balance_patience_epochs must be >= 1");
+    }
+    if (balancer.balance_cooldown_epochs < 1) {
+      reject("balancer.balance_cooldown_epochs must be >= 1");
+    }
+    if (balancer.balance_move_fraction <= 0.0 || balancer.balance_move_fraction > 1.0) {
+      reject("balancer.balance_move_fraction must be in (0, 1] (got " +
+             std::to_string(balancer.balance_move_fraction) + ")");
+    }
+    if (!waitstate_enabled) {
+      reject("balancer requires waitstate_enabled: the wait-state ledgers are its load signal");
+    }
+    if (barrier == BarrierKind::kDissemination) {
+      reject("balancer requires a champion barrier (tournament or central): dissemination has "
+             "no node that sees every sample");
+    }
+  }
+
+  return errors;
+}
+
+}  // namespace dfil::core

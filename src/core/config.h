@@ -3,8 +3,11 @@
 #define DFIL_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "src/common/types.h"
+#include "src/core/load_balancer.h"
 #include "src/dsm/dsm_node.h"
 #include "src/net/packet.h"
 #include "src/sim/cost_model.h"
@@ -22,17 +25,29 @@ enum class NetworkKind {
   kSwitched,        // ablation: full-duplex point-to-point
 };
 
+// Fork/join knobs, grouped (they travel together: every engine site reads several at once).
+struct ForkJoinConfig {
+  bool steal_enabled = true;  // receiver-initiated dynamic load balancing
+  int prune_threshold = 4;    // local queue depth at which forks become procedure calls
+  int steal_min_surplus = 1;  // a victim gives queued work whenever it has any
+  SimTime steal_retry = Milliseconds(4.0);   // idle re-poll interval after a full denial round
+  SimTime steal_grace = Milliseconds(50.0);  // nodes may steal this long after start even if the
+                                             // distribution tree never reached them
+};
+
 struct ClusterConfig {
   int nodes = 8;
   sim::CostModel costs = sim::CostModel::SunIpcEthernet();
   NetworkKind network = NetworkKind::kSharedEthernet;
-  double loss_rate = 0.0;  // per-frame drop probability (shorthand for fault_plan.loss_rate)
+  // DEPRECATED: shorthand for fault_plan.loss_rate, folded by EffectiveFaultPlan(). Kept one
+  // release for existing callers; set fault_plan.loss_rate directly.
+  double loss_rate = 0.0;
   uint64_t seed = 1;
 
-  // Adversarial fault injection (drops, duplicates, delays, burst loss, node stalls). The plan's
-  // loss_rate/seed default to this config's loss_rate/seed when left at 0, so the legacy knob
-  // keeps working. Everything is driven by seeded Rng streams: a run is replayable from
-  // (plan, seed) alone.
+  // Adversarial fault injection (drops, duplicates, delays, burst loss, node stalls) — the
+  // single source of truth for network misbehaviour. The plan's seed defaults to a value derived
+  // from this config's seed when left at 0, so (config, seed) alone replays a run. Read it
+  // through EffectiveFaultPlan(), which also folds the deprecated loss_rate alias above.
   sim::FaultPlan fault_plan;
 
   // When set, every DsmNode attaches to this oracle and the barrier champion sweeps it at each
@@ -59,15 +74,14 @@ struct ClusterConfig {
   threads::ContextBackend backend = threads::DefaultContextBackend();
 
   // Fork/join.
-  bool steal_enabled = true;         // receiver-initiated dynamic load balancing
-  int prune_threshold = 4;           // local queue depth at which forks become procedure calls
-  int steal_min_surplus = 1;         // a victim gives queued work whenever it has any
-  SimTime steal_retry = Milliseconds(4.0);   // idle re-poll interval after a full denial round
-  SimTime steal_grace = Milliseconds(50.0);  // nodes may steal this long after start even if the
-                                             // distribution tree never reached them
+  ForkJoinConfig fj;
+
+  // Epoch-driven load balancing of iterative filaments (DESIGN.md §13). Off by default;
+  // disabled runs are byte- and schedule-identical to builds without the feature.
+  LoadBalancerConfig balancer;
 
   // Reductions: disseminate via per-node reliable requests instead of one raw broadcast frame.
-  // Required when loss_rate > 0 (a lost broadcast would hang the barrier).
+  // Required when the fault plan can drop frames (a lost broadcast would hang the barrier).
   bool reliable_broadcast = false;
 
   // Barrier/reduction algorithm (the paper's future-work item "experiments with different types
@@ -91,6 +105,16 @@ struct ClusterConfig {
 
   // Runaway guard for the virtual clock.
   SimTime max_virtual_time = Seconds(100000.0);
+
+  // The fault plan with the deprecated loss_rate alias folded in and the seed defaulted from
+  // the run seed. Everything that injects faults (Cluster::Run, Validate) reads this, never the
+  // raw fields, so the two knobs cannot disagree.
+  sim::FaultPlan EffectiveFaultPlan() const;
+
+  // Checks the configuration for contradictions and out-of-range knobs; returns one
+  // human-readable line per problem (empty = valid). Cluster's constructor calls this and
+  // refuses invalid configs, so errors surface at construction instead of as a mid-run hang.
+  std::vector<std::string> Validate() const;
 };
 
 }  // namespace dfil::core

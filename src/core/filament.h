@@ -19,6 +19,17 @@ class NodeEnv;
 // three argument words (typically array indices).
 using FilamentFn = void (*)(NodeEnv&, int64_t, int64_t, int64_t);
 
+// Typed handle for an execution pool on the local node, returned by NodeEnv::CreatePool.
+// Replaces the raw `int` ids the API used to take: a default-constructed handle is invalid
+// (parallel.h uses that to mean "adaptive — let the runtime cluster filaments"), and accidental
+// pool-id arithmetic is impossible by construction.
+struct PoolHandle {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+  friend bool operator==(PoolHandle a, PoolHandle b) { return a.id == b.id; }
+  friend bool operator!=(PoolHandle a, PoolHandle b) { return a.id != b.id; }
+};
+
 struct Filament {
   FilamentFn fn;
   int64_t a0;
@@ -82,6 +93,11 @@ struct Pool {
   // per-page pools plus a non-faulting pool.
   bool auto_profile = false;
   std::vector<std::pair<int64_t, uint32_t>> fault_profile;  // (filament ordinal, page)
+
+  // Last sweep's write footprint — the pages this pool's filaments wrote, recorded only while
+  // the load balancer is on. When a rebalance plan migrates the pool, this is the page set the
+  // destination re-homes so the next epoch faults locally instead of chasing ownership remotely.
+  std::vector<uint32_t> write_pages;
 };
 
 }  // namespace dfil::core

@@ -39,7 +39,7 @@ void FjEngine::RegisterServices() {
         queue_.push_back(Task{reinterpret_cast<FjFn>(ship.fn), ship.args, ship.origin,
                               ship.cell_addr});
         got_first_work_ = true;
-        steal_backoff_ = rt_->config().steal_retry;  // fresh work: poll eagerly again
+        steal_backoff_ = rt_->config().fj.steal_retry;  // fresh work: poll eagerly again
         EnsureWorkerForQueue();
         return net::Payload{};
       },
@@ -75,7 +75,7 @@ void FjEngine::RegisterServices() {
         last_steal_demand_ = rt_->Clock();
         net::WireWriter w;
         if (phase_active_ && !terminated_ &&
-            queue_.size() >= static_cast<size_t>(rt_->config().steal_min_surplus)) {
+            queue_.size() >= static_cast<size_t>(rt_->config().fj.steal_min_surplus)) {
           Task task = queue_.front();  // oldest = coarsest work
           queue_.pop_front();
           w.Put(uint8_t{1});
@@ -136,8 +136,8 @@ FjResult FjEngine::Run(FjFn root, const FjArgs& args) {
   ship_next_ = true;
   got_first_work_ = rt_->id() == 0;
   next_victim_ = (rt_->id() + 1) % rt_->config().nodes;
-  steal_allowed_at_ = rt_->Clock() + rt_->config().steal_grace;
-  steal_backoff_ = rt_->config().steal_retry;
+  steal_allowed_at_ = rt_->Clock() + rt_->config().fj.steal_grace;
+  steal_backoff_ = rt_->config().fj.steal_retry;
   last_steal_demand_ = rt_->Clock() - Seconds(1.0);
   ComputeTreeChildren();
 
@@ -204,10 +204,10 @@ FjHandle FjEngine::Fork(FjFn fn, const FjArgs& args) {
   // "Everyone busy" is a cluster property: while steal requests keep arriving, other nodes are
   // NOT busy, so pruning stays off and forks remain visible to thieves (bounded by a queue cap).
   const bool steal_demand =
-      rt_->config().steal_enabled && rt_->Clock() - last_steal_demand_ < Milliseconds(100.0) &&
+      rt_->config().fj.steal_enabled && rt_->Clock() - last_steal_demand_ < Milliseconds(100.0) &&
       queue_.size() < 64;
   if (tree_children_.empty() && !steal_demand &&
-      queue_.size() >= static_cast<size_t>(rt_->config().prune_threshold)) {
+      queue_.size() >= static_cast<size_t>(rt_->config().fj.prune_threshold)) {
     fs.forks_pruned++;
     rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().fork_inline);
     FjHandle h{nullptr, {}};
@@ -287,12 +287,12 @@ void FjEngine::WorkerLoop(bool is_main) {
     }
     if (CanStealNow()) {
       if (TrySteal()) {
-        steal_backoff_ = rt_->config().steal_retry;
+        steal_backoff_ = rt_->config().fj.steal_retry;
         continue;
       }
       // Full denial round: back off so the busy nodes are not flooded with hopeless polls (the
       // paper's §4.3 observation about load-balance denials).
-      steal_backoff_ = std::min<SimTime>(steal_backoff_ * 2, rt_->config().steal_retry * 16);
+      steal_backoff_ = std::min<SimTime>(steal_backoff_ * 2, rt_->config().fj.steal_retry * 16);
     }
     if (terminated_) {
       return;
@@ -390,7 +390,7 @@ void FjEngine::WakeAllIdle() {
 }
 
 bool FjEngine::CanStealNow() const {
-  if (!rt_->config().steal_enabled || !phase_active_ || terminated_) {
+  if (!rt_->config().fj.steal_enabled || !phase_active_ || terminated_) {
     return false;
   }
   // Paper §2.3: a node steals only when it has no new filaments and none suspended on a page.

@@ -46,6 +46,12 @@ MetricsRegistry FlattenNode(const NodeReport& nr) {
   m.Set("dsm.diff_bulk_refetches", d.diff_bulk_refetches);
   m.Set("dsm.adapter_switches_to_diff", d.adapter_switches_to_diff);
   m.Set("dsm.adapter_switches_to_ii", d.adapter_switches_to_ii);
+  m.Set("dsm.pages_rehomed", d.pages_rehomed);
+  m.Set("dsm.rehome_requests", d.rehome_requests);
+  m.Set("dsm.rehome_pages_requested", d.rehome_pages_requested);
+  m.Set("dsm.rehome_pages_served", d.rehome_pages_served);
+  m.Set("dsm.rehome_misses", d.rehome_misses);
+  m.Set("dsm.rehome_misses_served", d.rehome_misses_served);
   m.Set("dsm.page_data_bytes", d.page_data_bytes);
   m.Set("dsm.page_request_messages", d.page_request_messages());
 

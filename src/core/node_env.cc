@@ -14,10 +14,20 @@ void NodeEnv::ChargeWork(SimTime cost) { rt_->Charge(TimeCategory::kWork, cost);
 void NodeEnv::Charge(TimeCategory category, SimTime cost) { rt_->Charge(category, cost); }
 
 std::byte* NodeEnv::AccessBytes(GlobalAddr addr, size_t len, dsm::AccessMode mode) {
+  if (mode == dsm::AccessMode::kWrite && rt_->config().balancer.enabled) {
+    // Write-footprint capture for rebalance page re-homing (DESIGN.md §13): each write lands in
+    // the current runner's pool record, so a migrated pool carries the pages it produces.
+    rt_->pools().NoteWriteAccess(rt_->dsm().layout().PageOf(addr));
+  }
   return rt_->dsm().Access(addr, len, mode);
 }
 
-int NodeEnv::CreatePool() { return rt_->pools().CreatePool(); }
+PoolHandle NodeEnv::CreatePool() { return PoolHandle{rt_->pools().CreatePool()}; }
+
+void NodeEnv::CreateFilament(PoolHandle pool, FilamentFn fn, int64_t a0, int64_t a1, int64_t a2) {
+  DFIL_CHECK(pool.valid()) << "CreateFilament needs a handle from CreatePool";
+  rt_->pools().AddFilament(pool.id, fn, a0, a1, a2);
+}
 
 void NodeEnv::CreateFilament(int pool, FilamentFn fn, int64_t a0, int64_t a1, int64_t a2) {
   rt_->pools().AddFilament(pool, fn, a0, a1, a2);

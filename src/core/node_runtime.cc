@@ -9,6 +9,7 @@
 #include "src/core/forkjoin.h"
 #include "src/core/pool_engine.h"
 #include "src/dsm/coherence_oracle.h"
+#include "src/dsm/page_protocol.h"
 
 namespace dfil::core {
 namespace {
@@ -20,7 +21,8 @@ TimeCategory ClassifyGap(const std::string& reason) {
   }
   if (reason.rfind("reduce", 0) == 0 || reason.rfind("drain", 0) == 0 ||
       reason.rfind("join", 0) == 0 || reason.rfind("fj", 0) == 0 ||
-      reason.rfind("call", 0) == 0 || reason.rfind("sweep", 0) == 0) {
+      reason.rfind("call", 0) == 0 || reason.rfind("sweep", 0) == 0 ||
+      reason.rfind("migrate", 0) == 0) {
     return TimeCategory::kSyncDelay;
   }
   return TimeCategory::kIdle;
@@ -55,7 +57,7 @@ WaitKind KindOfBlockReason(const std::string& reason, uint64_t* detail) {
   if (reason.rfind("join", 0) == 0 || reason.rfind("fj", 0) == 0) {
     return WaitKind::kJoin;
   }
-  if (reason.rfind("sweep", 0) == 0) {
+  if (reason.rfind("sweep", 0) == 0 || reason.rfind("migrate", 0) == 0) {
     return WaitKind::kSweep;
   }
   return WaitKind::kIdle;
@@ -165,6 +167,12 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   pools_ = std::make_unique<PoolEngine>(this);
   fj_ = std::make_unique<FjEngine>(this);
   RegisterReduceServices();
+  RegisterMigrateService();
+  if (config_.balancer.enabled && id_ == 0) {
+    // Both champion-structured barriers (tournament, central) combine at node 0; dissemination
+    // has no champion and is rejected by ClusterConfig::Validate when the balancer is on.
+    balancer_ = std::make_unique<LoadBalancer>(config_.balancer, config_.nodes);
+  }
 
   packet_->RegisterRawHandler(
       net::Service::kAppData,
@@ -405,7 +413,30 @@ void NodeRuntime::RegisterReduceServices() {
         const auto epoch = body.Get<uint64_t>();
         const auto round = body.Get<int32_t>();
         const auto value = body.Get<double>();
-        if (body.remaining() >= sizeof(uint64_t)) {
+        std::vector<LoadSample> samples;
+        if (config_.balancer.enabled) {
+          // Balancer wire format (config-uniform across the cluster, so the balancer-off format
+          // stays byte-identical): the merge-epoch word is always present (0 = none), followed by
+          // the sender's subtree of load samples.
+          const auto merge_epoch = body.Get<uint64_t>();
+          const auto nsamples = body.Get<uint32_t>();
+          samples.reserve(nsamples);
+          for (uint32_t i = 0; i < nsamples; ++i) {
+            LoadSample s;
+            s.node = body.Get<int32_t>();
+            s.arrival = body.Get<SimTime>();
+            s.run = body.Get<SimTime>();
+            s.wait = body.Get<SimTime>();
+            s.serve = body.Get<SimTime>();
+            samples.push_back(s);
+          }
+          if (merge_epoch > dsm_->DiffAppliedEpoch(src)) {
+            return std::nullopt;  // defer until the piggybacked gated merge applied (see below)
+          }
+          for (const LoadSample& s : samples) {
+            balance_samples_[epoch][s.node] = s;  // idempotent under retransmitted ups
+          }
+        } else if (body.remaining() >= sizeof(uint64_t)) {
           // Piggybacked gated-merge epoch: the sender's diff flush travels unacked in the same
           // datagram (or an earlier one). Defer the contribution until that merge has been
           // applied here, so the champion's quiescent sweep still sees every merge even when
@@ -424,6 +455,9 @@ void NodeRuntime::RegisterReduceServices() {
           net::WireWriter w;
           w.Put(epoch);
           w.Put(last_done_value_);
+          if (config_.balancer.enabled) {
+            AppendPlan(w, epoch);
+          }
           return w.Take();
         }
         reduce_inbox_[{epoch, round, src}] = value;
@@ -443,6 +477,9 @@ void NodeRuntime::RegisterReduceServices() {
   auto handle_done = [this](net::WireReader body) {
     const auto epoch = body.Get<uint64_t>();
     const auto value = body.Get<double>();
+    if (config_.balancer.enabled) {
+      ParsePlan(body);
+    }
     reduce_done_[epoch] = value;
     // Only a NEW done may consume the unacked sync-point requests. Under loss a done arrives
     // again — a duplicated raw broadcast, or the reliable done request retransmitted because our
@@ -549,7 +586,25 @@ void NodeRuntime::SendReduceValue(NodeId dst, uint64_t epoch, int round, double 
   w.Put(epoch);
   w.Put(static_cast<int32_t>(round));
   w.Put(value);
-  if (config_.coalesce.enabled && config_.coalesce.sync_batch) {
+  if (config_.balancer.enabled) {
+    // Balancer wire format: merge-epoch word always present (0 = none; an applied-epoch counter
+    // can never be outrun by 0, so 0 never defers), then this sender's accumulated samples — its
+    // own plus every subtree sample received in earlier tournament rounds, sorted by node id.
+    uint64_t merge_epoch = 0;
+    if (config_.coalesce.enabled && config_.coalesce.sync_batch) {
+      merge_epoch = dsm_->PendingGatedMergeEpoch();
+    }
+    w.Put(merge_epoch);
+    const auto& samples = balance_samples_[epoch];
+    w.Put(static_cast<uint32_t>(samples.size()));
+    for (const auto& [node, s] : samples) {
+      w.Put(s.node);
+      w.Put(s.arrival);
+      w.Put(s.run);
+      w.Put(s.wait);
+      w.Put(s.serve);
+    }
+  } else if (config_.coalesce.enabled && config_.coalesce.sync_batch) {
     // Piggyback the epoch of the still-unacked gated diff merge (it rides to the same parent,
     // held in the same datagram): the receiver defers this contribution until the merge applies.
     if (const uint64_t merge_epoch = dsm_->PendingGatedMergeEpoch(); merge_epoch != 0) {
@@ -569,6 +624,9 @@ void NodeRuntime::SendReduceValue(NodeId dst, uint64_t epoch, int round, double 
         net::WireReader r(reply);
         const auto epoch = r.Get<uint64_t>();
         const auto value = r.Get<double>();
+        if (config_.balancer.enabled) {
+          ParsePlan(r);
+        }
         reduce_done_[epoch] = value;
         last_done_epoch_ = epoch;
         last_done_value_ = value;
@@ -604,9 +662,13 @@ double NodeRuntime::ReduceTournament(uint64_t epoch, double value, ReduceOp op) 
   }
   DFIL_CHECK_EQ(r, 0);
   DFIL_ORACLE_SWEEP();
+  MaybeEmitPlan(epoch);
   net::WireWriter w;
   w.Put(epoch);
   w.Put(accum);
+  if (config_.balancer.enabled) {
+    AppendPlan(w, epoch);
+  }
   if (config_.reliable_broadcast) {
     net::Payload body = w.Take();
     for (NodeId n = 1; n < p; ++n) {
@@ -656,9 +718,13 @@ double NodeRuntime::ReduceCentral(uint64_t epoch, double value, ReduceOp op) {
     accum = Combine(accum, WaitReduceUp(epoch, 0, n), op);
   }
   DFIL_ORACLE_SWEEP();
+  MaybeEmitPlan(epoch);
   net::WireWriter w;
   w.Put(epoch);
   w.Put(accum);
+  if (config_.balancer.enabled) {
+    AppendPlan(w, epoch);
+  }
   if (config_.reliable_broadcast) {
     net::Payload body = w.Take();
     for (NodeId n = 1; n < p; ++n) {
@@ -692,6 +758,9 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
   WaitForFetchDrain();
 
   DFIL_CHECK_EQ(++reduce_epoch_, epoch);
+  if (config_.balancer.enabled && config_.nodes > 1) {
+    RecordLoadSample(epoch, entered);
+  }
   double result = value;
   if (config_.nodes > 1) {
     switch (config_.barrier) {
@@ -715,6 +784,14 @@ double NodeRuntime::Reduce(double value, ReduceOp op) {
     // scheduler gaps, so the ledger is not double-counted by this record.
     waitstate_.Record(WaitKind::kBarrier, epoch, entered, clock_);
     RecordEpochSnapshot(epoch, entered);
+  }
+  if (config_.balancer.enabled && config_.nodes > 1) {
+    // Every node saw the plan on the done broadcast (or its done-carrying stand-in), so source
+    // and destination act here, between this epoch's barrier and the next sweep: filaments leave
+    // the source before its next sweep and the destination's sweep blocks until they join — no
+    // iteration runs anywhere without them.
+    ApplyPendingPlan();
+    balance_samples_.erase(balance_samples_.begin(), balance_samples_.upper_bound(epoch));
   }
   return result;
 }
@@ -741,6 +818,154 @@ void NodeRuntime::RecordEpochSnapshot(uint64_t epoch, SimTime entered) {
   epoch_base_.datagrams = p.datagrams_sent;
   epoch_base_.wait = waitstate_.wait_time();
   epoch_base_.serve = waitstate_.serve_time();
+}
+
+// --- Load balancing (DESIGN.md §13) ---------------------------------------------------------------
+
+void NodeRuntime::RecordLoadSample(uint64_t epoch, SimTime entered) {
+  LoadSample s;
+  s.node = id_;
+  s.arrival = entered;
+  s.run = waitstate_.run_time() - balance_base_.run;
+  s.wait = waitstate_.wait_time() - balance_base_.wait;
+  s.serve = waitstate_.serve_time() - balance_base_.serve;
+  balance_samples_[epoch][id_] = s;
+  balance_base_.run = waitstate_.run_time();
+  balance_base_.wait = waitstate_.wait_time();
+  balance_base_.serve = waitstate_.serve_time();
+}
+
+void NodeRuntime::MaybeEmitPlan(uint64_t epoch) {
+  if (balancer_ == nullptr) {
+    return;
+  }
+  const auto it = balance_samples_.find(epoch);
+  if (it == balance_samples_.end() || static_cast<int>(it->second.size()) != config_.nodes) {
+    return;  // defensive: reduce-ups are reliable, so all n samples should be here
+  }
+  std::vector<LoadSample> samples;
+  samples.reserve(it->second.size());
+  for (const auto& [node, s] : it->second) {
+    samples.push_back(s);
+  }
+  const std::optional<RebalancePlan> plan = balancer_->AtSyncPoint(epoch, samples);
+  if (plan.has_value()) {
+    last_plan_ = *plan;
+    metrics_.Inc("core.rebalance_plans");
+    tracer_.InstantOnTrack(dsm::kRebalanceTid, "core",
+                           "rebalance plan e" + std::to_string(epoch) + " n" +
+                               std::to_string(plan->src) + " -> n" + std::to_string(plan->dst));
+  }
+}
+
+void NodeRuntime::AppendPlan(net::WireWriter& w, uint64_t epoch) const {
+  if (last_plan_.has_value() && last_plan_->epoch == epoch) {
+    w.Put(static_cast<uint8_t>(1));
+    w.Put(last_plan_->epoch);
+    w.Put(last_plan_->src);
+    w.Put(last_plan_->dst);
+    w.Put(last_plan_->fraction_ppm);
+  } else {
+    w.Put(static_cast<uint8_t>(0));
+  }
+}
+
+void NodeRuntime::ParsePlan(net::WireReader& r) {
+  if (r.remaining() < sizeof(uint8_t) || r.Get<uint8_t>() == 0) {
+    return;
+  }
+  RebalancePlan plan;
+  plan.epoch = r.Get<uint64_t>();
+  plan.src = r.Get<int32_t>();
+  plan.dst = r.Get<int32_t>();
+  plan.fraction_ppm = r.Get<uint32_t>();
+  // Stale dones (duplicated broadcasts, retransmission re-runs) carry stale plans; keep newest.
+  if (!last_plan_.has_value() || plan.epoch > last_plan_->epoch) {
+    last_plan_ = plan;
+  }
+}
+
+void NodeRuntime::ApplyPendingPlan() {
+  if (!last_plan_.has_value() || last_plan_->epoch <= last_plan_applied_) {
+    return;
+  }
+  const RebalancePlan plan = *last_plan_;
+  last_plan_applied_ = plan.epoch;
+  if (id_ == plan.dst) {
+    pools_->ExpectMigration();
+  }
+  if (id_ != plan.src) {
+    return;
+  }
+  PoolEngine::MigrationBatch batch =
+      pools_->ExtractMigration(static_cast<double>(plan.fraction_ppm) / 1e6);
+  if (!config_.balancer.balance_rehome_pages) {
+    batch.pages.clear();
+  }
+  net::WireWriter w;
+  w.Put(plan.epoch);
+  w.Put(static_cast<uint32_t>(batch.filaments.size()));
+  for (const Filament& f : batch.filaments) {
+    // Filaments are stackless — a code pointer plus three argument words — so migration is this
+    // small message. All simulated nodes share one address space; a real cluster would ship a
+    // function-table index instead of the pointer bits.
+    w.Put(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(f.fn)));
+    w.Put(f.a0);
+    w.Put(f.a1);
+    w.Put(f.a2);
+  }
+  w.Put(static_cast<uint32_t>(batch.pages.size()));
+  for (const PageId page : batch.pages) {
+    w.Put(page);
+  }
+  // Always sent, even empty: the destination armed a sweep-entry wait and needs the release.
+  packet_->SendRequest(plan.dst, net::Service::kFilamentMigrate, w.Take(), nullptr,
+                       TimeCategory::kSyncOverhead);
+  tracer_.InstantOnTrack(dsm::kRebalanceTid, "core",
+                         "rebalance migrate_out f" + std::to_string(batch.filaments.size()) +
+                             " p" + std::to_string(batch.pages.size()) + " -> n" +
+                             std::to_string(plan.dst));
+}
+
+void NodeRuntime::RegisterMigrateService() {
+  packet_->RegisterService(
+      net::Service::kFilamentMigrate,
+      [this](NodeId src, net::WireReader body) -> std::optional<net::Payload> {
+        const auto plan_epoch = body.Get<uint64_t>();
+        if (plan_epoch <= migrate_applied_epoch_) {
+          return net::Payload{};  // duplicate of an already-integrated batch
+        }
+        migrate_applied_epoch_ = plan_epoch;
+        const auto nfil = body.Get<uint32_t>();
+        std::vector<Filament> filaments;
+        filaments.reserve(nfil);
+        for (uint32_t i = 0; i < nfil; ++i) {
+          Filament f;
+          f.fn = reinterpret_cast<FilamentFn>(static_cast<uintptr_t>(body.Get<uint64_t>()));
+          f.a0 = body.Get<int64_t>();
+          f.a1 = body.Get<int64_t>();
+          f.a2 = body.Get<int64_t>();
+          filaments.push_back(f);
+        }
+        const auto npages = body.Get<uint32_t>();
+        std::vector<PageId> pages;
+        pages.reserve(npages);
+        for (uint32_t i = 0; i < npages; ++i) {
+          pages.push_back(body.Get<PageId>());
+        }
+        metrics_.Inc("core.filaments_migrated", nfil);
+        tracer_.InstantOnTrack(dsm::kRebalanceTid, "core",
+                               "rebalance migrate_in f" + std::to_string(nfil) + " p" +
+                                   std::to_string(npages) + " <- n" + std::to_string(src));
+        if (!pages.empty()) {
+          // Re-home the strips' backing pages now, overlapping the transfers with whatever runs
+          // before the next sweep; filaments faulting on an in-flight page join its waiter list.
+          dsm_->RequestRehome(pages, src);
+        }
+        pools_->AcceptMigration(std::move(filaments));
+        return net::Payload{};
+      },
+      /*idempotent=*/true);
 }
 
 void NodeRuntime::FinalizeWaitstate() {

@@ -161,6 +161,23 @@ class NodeRuntime final : public sim::NodeHost {
   double ReduceCentral(uint64_t epoch, double value, ReduceOp op);
   static double Combine(double a, double b, ReduceOp op);
 
+  // Load-balancer plumbing (config_.balancer; every hook is inert while disabled, keeping the
+  // wire format and schedule byte-identical to a balancer-free build).
+  void RegisterMigrateService();
+  // Snapshots this node's per-epoch ledger deltas into balance_samples_[epoch] before any
+  // reduce-up for `epoch` goes out.
+  void RecordLoadSample(uint64_t epoch, SimTime entered);
+  // Champion only: runs the balancer once all n samples for `epoch` arrived.
+  void MaybeEmitPlan(uint64_t epoch);
+  // Appends the plan trailer (u8 has_plan [+ epoch/src/dst]) to a done payload / done-carrying
+  // reply; writes has_plan=0 unless last_plan_ is exactly `epoch`'s plan.
+  void AppendPlan(net::WireWriter& w, uint64_t epoch) const;
+  // Parses the plan trailer; keeps the newest plan seen (stale dones carry stale plans).
+  void ParsePlan(net::WireReader& r);
+  // End of Reduce: source extracts + ships its batch, destination arms the sweep-entry wait.
+  // Exactly-once per plan via last_plan_applied_.
+  void ApplyPendingPlan();
+
   NodeId id_;
   ClusterConfig config_;
   sim::Machine* machine_;
@@ -228,6 +245,20 @@ class NodeRuntime final : public sim::NodeHost {
     SimTime serve = 0;
   } epoch_base_;
   void RecordEpochSnapshot(uint64_t epoch, SimTime entered);
+
+  // Load-balancer state (empty/zero while config_.balancer.enabled is false).
+  std::unique_ptr<LoadBalancer> balancer_;  // constructed on the champion (node 0) only
+  // epoch -> (node -> sample): own sample plus every sample carried by received reduce-ups.
+  std::map<uint64_t, std::map<int32_t, LoadSample>> balance_samples_;
+  // Ledger totals at the previous sync point, so samples carry per-epoch deltas.
+  struct BalanceBase {
+    SimTime run = 0;
+    SimTime wait = 0;
+    SimTime serve = 0;
+  } balance_base_;
+  std::optional<RebalancePlan> last_plan_;  // newest plan seen (emitted here or off a done)
+  uint64_t last_plan_applied_ = 0;          // highest plan epoch acted on (src/dst roles)
+  uint64_t migrate_applied_epoch_ = 0;      // highest kFilamentMigrate epoch integrated
 };
 
 }  // namespace dfil::core

@@ -36,7 +36,7 @@ inline Block BlockOf(int64_t count, NodeId node, int nodes) {
 // pages they fault on after the first sweep; this matters only for ParallelForEach/iterative use.
 inline void ParallelFor(NodeEnv& env, int64_t count, FilamentFn fn, bool adaptive_pools = false) {
   const Block b = BlockOf(count, env.node(), env.nodes());
-  const int pool = adaptive_pools ? -1 : env.CreatePool();
+  const PoolHandle pool = adaptive_pools ? PoolHandle{} : env.CreatePool();
   for (int64_t i = b.lo; i < b.hi; ++i) {
     if (adaptive_pools) {
       env.CreateAutoFilament(fn, i, 0, 0);
@@ -52,7 +52,7 @@ inline void ParallelFor(NodeEnv& env, int64_t count, FilamentFn fn, bool adaptiv
 inline void ParallelFor2D(NodeEnv& env, int64_t rows, int64_t cols, FilamentFn fn,
                           bool adaptive_pools = false) {
   const Block b = BlockOf(rows, env.node(), env.nodes());
-  const int pool = adaptive_pools ? -1 : env.CreatePool();
+  const PoolHandle pool = adaptive_pools ? PoolHandle{} : env.CreatePool();
   for (int64_t i = b.lo; i < b.hi; ++i) {
     for (int64_t j = 0; j < cols; ++j) {
       if (adaptive_pools) {
@@ -73,7 +73,7 @@ inline void ParallelIterate2D(NodeEnv& env, int64_t rows, int64_t cols, Filament
                               const std::function<bool(int)>& step,
                               bool adaptive_pools = true) {
   const Block b = BlockOf(rows, env.node(), env.nodes());
-  const int pool = adaptive_pools ? -1 : env.CreatePool();
+  const PoolHandle pool = adaptive_pools ? PoolHandle{} : env.CreatePool();
   for (int64_t i = b.lo; i < b.hi; ++i) {
     for (int64_t j = 0; j < cols; ++j) {
       if (adaptive_pools) {

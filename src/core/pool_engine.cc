@@ -63,6 +63,7 @@ void PoolEngine::RunSweep() {
   DFIL_CHECK(!sweep_active_);
   threads::ServerThread* self = rt_->CurrentThread();
   DFIL_CHECK(self != nullptr) << "RunSweep must run on a server thread";
+  WaitForMigrations();
   if (pools_.empty()) {
     return;
   }
@@ -180,6 +181,110 @@ void PoolEngine::RepartitionAutoPools() {
   }
 }
 
+void PoolEngine::WaitForMigrations() {
+  threads::ServerThread* self = rt_->CurrentThread();
+  while (applied_migrations_ < expected_migrations_) {
+    if (arrived_migrations_.empty()) {
+      // The rebalance plan arrived on the done broadcast but the filaments themselves are still
+      // in flight from the source; sweeping now would run the iteration without them (the source
+      // already dropped them), so the main thread waits for the kFilamentMigrate message.
+      DFIL_CHECK(migrate_waiter_ == nullptr);
+      migrate_waiter_ = self;
+      self->set_state(threads::ThreadState::kBlocked);
+      self->set_block_reason("migrate");
+      rt_->BlockCurrent();
+      continue;
+    }
+    std::vector<Filament> batch = std::move(arrived_migrations_.front());
+    arrived_migrations_.pop_front();
+    ++applied_migrations_;
+    if (batch.empty()) {
+      continue;  // the source had nothing it could spare
+    }
+    const int pool = CreatePool();
+    for (const Filament& f : batch) {
+      AddFilament(pool, f.fn, f.a0, f.a1, f.a2);
+    }
+    finish_stack_.clear();  // pool set changed: frontloading restarts from creation order
+  }
+}
+
+void PoolEngine::AcceptMigration(std::vector<Filament> filaments) {
+  arrived_migrations_.push_back(std::move(filaments));
+  if (migrate_waiter_ != nullptr) {
+    threads::ServerThread* t = migrate_waiter_;
+    migrate_waiter_ = nullptr;
+    rt_->WakeAtTail(t);
+  }
+}
+
+PoolEngine::MigrationBatch PoolEngine::ExtractMigration(double fraction) {
+  DFIL_CHECK(!sweep_active_);
+  MigrationBatch out;
+  int64_t total = 0;
+  int eligible = 0;
+  for (const auto& p : pools_) {
+    if (p->auto_profile || p->filaments.empty()) {
+      continue;
+    }
+    total += static_cast<int64_t>(p->filaments.size());
+    ++eligible;
+  }
+  if (eligible <= 1) {
+    return out;  // never strip the node bare — a whole-pool move would just invert the imbalance
+  }
+  const int64_t quota =
+      std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(total) * fraction));
+  std::vector<uint32_t> pages;
+  int moved_pools = 0;
+  for (const auto& p : pools_) {
+    if (p->auto_profile || p->filaments.empty()) {
+      continue;
+    }
+    if (moved_pools == eligible - 1) {
+      break;
+    }
+    // Never overshoot the quota (except for the guaranteed first pool): shipping more than the
+    // measured gap just inverts the imbalance and the next plan bounces the surplus back.
+    if (!out.filaments.empty() &&
+        static_cast<int64_t>(out.filaments.size() + p->filaments.size()) > quota) {
+      break;
+    }
+    out.filaments.insert(out.filaments.end(), p->filaments.begin(), p->filaments.end());
+    pages.insert(pages.end(), p->write_pages.begin(), p->write_pages.end());
+    p->filaments.clear();
+    p->strips.clear();
+    p->singles.clear();
+    p->patterns_valid = false;
+    p->hints.clear();
+    p->write_pages.clear();
+    ++moved_pools;
+  }
+  if (!out.filaments.empty()) {
+    finish_stack_.clear();  // pool set changed: frontloading restarts from creation order
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  out.pages = std::move(pages);
+  return out;
+}
+
+void PoolEngine::NoteWriteAccess(uint32_t page) {
+  if (!sweep_active_) {
+    return;
+  }
+  const auto it = running_pool_.find(rt_->CurrentThread());
+  if (it == running_pool_.end()) {
+    return;  // not a pool runner (main-thread writes are not pool footprint)
+  }
+  std::vector<uint32_t>& pages = it->second.pool->write_pages;
+  // Strips walk addresses in order, so consecutive writes overwhelmingly repeat the last page;
+  // full dedupe happens once at extraction.
+  if (pages.empty() || pages.back() != page) {
+    pages.push_back(page);
+  }
+}
+
 void PoolEngine::RunIterative(const std::function<bool(int)>& after_iteration) {
   for (int iter = 0;; ++iter) {
     RunSweep();
@@ -268,6 +373,9 @@ void PoolEngine::ExecutePool(Pool* pool) {
     BuildPatterns(pool);
   }
   ++pool->runs;
+  if (rt_->config().balancer.enabled) {
+    pool->write_pages.clear();  // a migrated pool ships its LAST sweep's footprint
+  }
   if (rt_->config().dsm.prefetch_hints) {
     IssuePrefetchHints(pool);
   }

@@ -14,6 +14,7 @@
 #define DFIL_CORE_POOL_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,6 +55,29 @@ class PoolEngine {
   // Execution order of the most recent sweep (pool ids), for frontloading tests.
   const std::vector<int>& last_sweep_order() const { return last_order_ids_; }
 
+  // --- Load-balancer hooks (DESIGN.md §13; all inert while the balancer is off) ---
+
+  // A rebalance plan named this node as source: extracts whole pools in id order — skipping
+  // auto-profile pools and always leaving at least one populated pool behind — until at least
+  // `fraction` of this node's filaments moved. Returns the filaments plus the union of the moved
+  // pools' last-sweep write footprints. Deterministic; returns an empty batch rather than
+  // stripping the node bare.
+  struct MigrationBatch {
+    std::vector<Filament> filaments;
+    std::vector<uint32_t> pages;
+  };
+  MigrationBatch ExtractMigration(double fraction);
+
+  // The done broadcast named this node as a migration target: the next RunSweep blocks at entry
+  // until the matching kFilamentMigrate batch has been integrated.
+  void ExpectMigration() { ++expected_migrations_; }
+  // A migration batch arrived (possibly empty); integrated at the next RunSweep entry.
+  void AcceptMigration(std::vector<Filament> filaments);
+
+  // Records one page of the current runner's pool write footprint (called from NodeEnv on write
+  // accesses while the balancer is on; O(1) via last-page dedupe).
+  void NoteWriteAccess(uint32_t page);
+
  private:
   void RunnerLoop();
   void ExecutePool(Pool* pool);
@@ -63,6 +87,9 @@ class PoolEngine {
   void EnsureRunnerForRemainingPools();
   // Splits profiled auto pools into per-page pools after the sweep.
   void RepartitionAutoPools();
+  // Sweep-entry migration barrier: integrates arrived batches, blocks ("migrate") on in-flight
+  // ones, so no sweep runs while migrated filaments are between nodes.
+  void WaitForMigrations();
 
   NodeRuntime* rt_;
   std::vector<std::unique_ptr<Pool>> pools_;
@@ -83,6 +110,12 @@ class PoolEngine {
   std::map<threads::ServerThread*, RunnerPosition> running_pool_;
   int auto_pool_ = -1;
   std::map<uint32_t, int> auto_page_pools_;  // faulted page -> pool id
+
+  // Migration state (balancer only).
+  int expected_migrations_ = 0;  // plans that named this node destination
+  int applied_migrations_ = 0;   // batches integrated into pools
+  std::deque<std::vector<Filament>> arrived_migrations_;
+  threads::ServerThread* migrate_waiter_ = nullptr;
 };
 
 }  // namespace dfil::core

@@ -66,6 +66,25 @@ struct BulkReplyHeader {
   uint16_t nmisses;   // then this many PageIds the replier does not own
 };
 
+// Rebalance page re-homing: a batch of per-page ownership requests, each carrying the
+// requester's fault_seq so the grant machinery answers lost-reply retransmissions; the reply
+// embeds one standard single-page transfer reply (BuildDataReply bytes) per served page and
+// lists the rest as misses. Like bulk transfers it is rebuilt idempotently from current state
+// and never defers — an unservable page is a miss, not a stall.
+struct RehomeRequestHeader {
+  uint16_t count;
+};
+
+struct RehomePageReq {
+  PageId page;
+  uint32_t fault_seq;
+};
+
+struct RehomeReplyHeader {
+  uint16_t nserved;  // nserved x (PageId, uint32_t len, embedded reply payload) follow
+  uint16_t nmisses;  // then nmisses x PageId
+};
+
 // Flow-arc name shared by the fault, serve and install sides ("p<page>" / "bulk p<first>").
 std::string FlowName(PageId page) { return "p" + std::to_string(page); }
 std::string BulkFlowName(PageId first) { return "bulk p" + std::to_string(first); }
@@ -109,6 +128,10 @@ DsmNode::DsmNode(NodeId self, const GlobalLayout* layout, net::PacketEndpoint* p
   packet_->RegisterService(
       net::Service::kBulkPageRequest,
       [this](NodeId src, net::WireReader body) { return ServeBulkRequest(src, body); },
+      /*idempotent=*/true, TimeCategory::kDataTransfer);
+  packet_->RegisterService(
+      net::Service::kRehomePages,
+      [this](NodeId src, net::WireReader body) { return ServeRehomeRequest(src, body); },
       /*idempotent=*/true, TimeCategory::kDataTransfer);
   packet_->RegisterService(
       net::Service::kDiffMerge,
@@ -820,6 +843,169 @@ void DsmNode::FinishBulkPage(PageId page, bool installed, NodeId owner_hint, boo
   DFIL_CHECK_GT(pending_fetches_, 0);
   if (--pending_fetches_ == 0 && hooks_.fetches_drained) {
     hooks_.fetches_drained();
+  }
+}
+
+// --- Rebalance page re-homing ----------------------------------------------------------------
+
+void DsmNode::RequestRehome(const std::vector<PageId>& pages, NodeId source) {
+  if (source == self_ || source == kNoNode) {
+    return;
+  }
+  std::vector<std::pair<PageId, uint32_t>> batch;
+  auto flush = [&] {
+    if (!batch.empty()) {
+      SendRehomeRequest(batch, source);
+      batch.clear();
+    }
+  };
+  for (PageId p : pages) {
+    if (static_cast<size_t>(p) >= table_.size()) {
+      continue;
+    }
+    PageEntry& e = table_[p];
+    // Owned/fetching pages need no re-home; grouped pages move as a unit through the normal
+    // fault path; the diff protocol never transfers ownership at all.
+    if (e.owner || e.fetching || layout_->GroupOf(p) != kNoGroup || page_pcp(p) == Pcp::kDiff) {
+      continue;
+    }
+    e.fetching = true;
+    e.fetch_mode = AccessMode::kWrite;
+    ++e.fetch_seq;  // a fresh fault, exactly like StartDemandFetch
+    ++pending_fetches_;
+    batch.emplace_back(p, e.fetch_seq);
+    if (batch.size() >= static_cast<size_t>(config_.max_bulk_pages)) {
+      flush();
+    }
+  }
+  flush();
+}
+
+void DsmNode::SendRehomeRequest(const std::vector<std::pair<PageId, uint32_t>>& pages,
+                                NodeId source) {
+  DFIL_CHECK_NE(source, self_);
+  stats_.rehome_requests++;
+  stats_.rehome_pages_requested += pages.size();
+  if (NodeTracer* tr = tracer(); tr != nullptr) {
+    tr->InstantOnTrack(kRebalanceTid, "dsm",
+                       "rebalance rehome_req p" + std::to_string(pages.front().first) + " x" +
+                           std::to_string(pages.size()) + " <- n" + std::to_string(source));
+  }
+  net::WireWriter w;
+  w.Put(RehomeRequestHeader{static_cast<uint16_t>(pages.size())});
+  for (const auto& [p, seq] : pages) {
+    w.Put(RehomePageReq{p, seq});
+  }
+  // Worst case every page ships full-size, flooring the RTT estimator like a bulk reply.
+  const size_t expected_reply =
+      sizeof(RehomeReplyHeader) +
+      pages.size() * (sizeof(PageId) + sizeof(uint32_t) + sizeof(ReplyHeader) +
+                      sizeof(PageBlockHeader) + layout_->page_size());
+  packet_->SendRequest(
+      source, net::Service::kRehomePages, w.Take(),
+      [this](net::Payload reply) { OnRehomeReply(std::move(reply)); },
+      TimeCategory::kDataTransfer, expected_reply);
+}
+
+std::optional<net::Payload> DsmNode::ServeRehomeRequest(NodeId src, net::WireReader body) {
+  const auto h = body.Get<RehomeRequestHeader>();
+  TraceSpan serve_span(hooks_.tracer, "dsm", "rehome_serve x", h.count);
+  struct Served {
+    PageId page;
+    net::Payload payload;
+  };
+  std::vector<Served> served;
+  std::vector<PageId> misses;
+  for (uint16_t i = 0; i < h.count; ++i) {
+    const auto preq = body.Get<RehomePageReq>();
+    if (static_cast<size_t>(preq.page) >= table_.size()) {
+      misses.push_back(preq.page);
+      continue;
+    }
+    PageEntry& e = table_[preq.page];
+    if (e.granted_to == src && e.grant_seq == preq.fault_seq &&
+        e.state == PageState::kInvalid && !e.owner) {
+      // A retransmission of the exact fault our last transfer answered (the reply was lost);
+      // re-serve the identical transfer from the stale frame, as ServePageRequest does.
+      stats_.grant_reserves++;
+      DFIL_ORACLE(OnServeGrantReserve(self_, src, preq.page));
+      served.push_back({preq.page,
+                        BuildDataReply(preq.page, /*transfer_ownership=*/true,
+                                       /*include_copyset=*/proto(preq.page).TracksCopyset(),
+                                       /*from_grant=*/true)});
+      continue;
+    }
+    // Unservable pages are misses, never deferrals: the batch reply must not stall on one page
+    // in flux, and a missed page simply stays home until a demand fault moves it.
+    const bool servable = e.owner && !e.fetching && !e.pending_use &&
+                          page_pcp(preq.page) != Pcp::kDiff &&
+                          layout_->GroupOf(preq.page) == kNoGroup &&
+                          !(config_.mirage_window > 0 && hooks_.clock() < e.hold_until);
+    if (!servable) {
+      stats_.rehome_misses_served++;
+      misses.push_back(preq.page);
+      continue;
+    }
+    std::optional<net::Payload> reply =
+        proto(preq.page).OnRemoteRequest(src, preq.page, AccessMode::kWrite, preq.fault_seq);
+    if (!reply.has_value()) {
+      stats_.rehome_misses_served++;
+      misses.push_back(preq.page);
+      continue;
+    }
+    served.push_back({preq.page, std::move(*reply)});
+  }
+  if (!served.empty()) {
+    hooks_.charge(TimeCategory::kDataTransfer,
+                  costs_->page_service +
+                      costs_->bulk_service_extra_page * static_cast<SimTime>(served.size() - 1));
+    stats_.rehome_pages_served += served.size();
+  }
+  net::WireWriter w;
+  w.Put(RehomeReplyHeader{static_cast<uint16_t>(served.size()),
+                          static_cast<uint16_t>(misses.size())});
+  for (Served& s : served) {
+    w.Put(s.page);
+    w.Put(static_cast<uint32_t>(s.payload.size()));
+    w.PutBytes(s.payload.data(), s.payload.size());
+  }
+  for (PageId p : misses) {
+    w.Put(p);
+  }
+  return w.Take();
+}
+
+void DsmNode::OnRehomeReply(net::Payload reply) {
+  net::WireReader r(reply);
+  const auto h = r.Get<RehomeReplyHeader>();
+  TraceSpan install_span(hooks_.tracer, "dsm", "rehome_install x", h.nserved);
+  for (uint16_t i = 0; i < h.nserved; ++i) {
+    const auto page = r.Get<PageId>();
+    const auto len = r.Get<uint32_t>();
+    net::Payload embedded(len);
+    r.GetBytes(embedded.data(), len);
+    stats_.pages_rehomed++;
+    // The embedded payload is a standard single-page transfer reply: route it through the
+    // normal install path so grants, copyset invalidation rounds, the Mirage window, waiter
+    // wake-ups and the oracle hooks all behave exactly as for a demand fault.
+    OnPageReply(page, AccessMode::kWrite, std::move(embedded));
+  }
+  for (uint16_t i = 0; i < h.nmisses; ++i) {
+    const PageId p = r.Get<PageId>();
+    stats_.rehome_misses++;
+    PageEntry& e = table_[p];
+    DFIL_CHECK(e.fetching) << "rehome miss for page " << p << " we are not fetching";
+    e.fetching = false;
+    e.discard_install = false;
+    // Anyone who demand-faulted while the re-home was in flight re-faults through Access();
+    // the page simply stays at its current owner.
+    while (threads::ServerThread* t = e.waiters.PopFront()) {
+      hooks_.wake(t);
+    }
+    DFIL_CHECK_GT(pending_fetches_, 0);
+    if (--pending_fetches_ == 0 && hooks_.fetches_drained) {
+      hooks_.fetches_drained();
+    }
   }
 }
 

@@ -230,6 +230,19 @@ class DsmNode {
   // reduce-up message so the parent can order merge-apply before arrival.
   uint64_t PendingGatedMergeEpoch() const;
 
+  // --- Rebalance page re-homing (load balancer; DESIGN.md §13) ---
+
+  // Requests ownership of `pages` from `source` in one batched kRehomePages exchange per
+  // max_bulk_pages run, so a migrated strip's next epoch faults locally instead of chasing
+  // ownership page by page. Pages that are owned here, already being fetched, grouped, or under
+  // the diff protocol (which never transfers ownership) are skipped. Each re-homed page goes
+  // through the standard single-page install path — grants, copyset invalidation rounds, the
+  // Mirage window, and the coherence oracle all see an ordinary ownership transfer. Pages the
+  // source cannot serve (not the owner, in flux, inside its Mirage window) come back as misses
+  // and simply stay where they were: a later demand fault fetches them the normal way. The
+  // requests count as pending fetches, so they drain before the next sync point.
+  void RequestRehome(const std::vector<PageId>& pages, NodeId source);
+
   // Outstanding page fetches; a node delays at synchronization points until this reaches zero.
   int pending_fetches() const { return pending_fetches_; }
 
@@ -309,6 +322,16 @@ class DsmNode {
   // and reports the rest as misses (idempotent; never defers, never transfers ownership).
   std::optional<net::Payload> ServeBulkRequest(NodeId src, net::WireReader body);
   void OnBulkReply(net::Payload reply);
+
+  // --- Rebalance page re-homing ---
+
+  // Sends one kRehomePages request for `pages` (each already marked fetching) to `source`.
+  void SendRehomeRequest(const std::vector<std::pair<PageId, uint32_t>>& pages, NodeId source);
+  // Serves a re-home batch from current state: each page this node owns (and may release) ships
+  // as an embedded ownership-transfer reply; everything else is a miss. Never defers — the whole
+  // batch answers at once, and a per-page grant record keeps re-serves loss-safe.
+  std::optional<net::Payload> ServeRehomeRequest(NodeId src, net::WireReader body);
+  void OnRehomeReply(net::Payload reply);
 
   // Completes one page of a bulk fetch (no group logic: bulk runs cover ungrouped pages only).
   // `diff_copy` installs the page as a multiple-writer copy (from the block's diff tag).

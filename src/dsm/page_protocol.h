@@ -39,6 +39,10 @@ inline constexpr uint8_t kReplyFlagDiff = 2;       // the served copy is a multi
 // sim::Machine::kInjectionTid = 1000000 `inject` lane.
 inline constexpr uint64_t kAdaptTid = 1000001;
 
+// Trace track for load-balancer events (plan emission, filament migration, page re-homing);
+// every instant name on it starts with "rebalance" so report_lib can count them.
+inline constexpr uint64_t kRebalanceTid = 1000002;
+
 // Outcome of a fault entry point.
 enum class FaultResult : uint8_t {
   kStarted,    // a fetch (or invalidation round) is now outstanding; the faulter must block

@@ -19,6 +19,8 @@ const char* ServiceName(Service service) {
       return "diff_merge";
     case Service::kDiffMergeGated:
       return "diff_merge_gated";
+    case Service::kRehomePages:
+      return "rehome_pages";
     case Service::kReduceUp:
       return "reduce_up";
     case Service::kReduceDone:
@@ -31,6 +33,8 @@ const char* ServiceName(Service service) {
       return "steal_work";
     case Service::kTerminate:
       return "terminate";
+    case Service::kFilamentMigrate:
+      return "filament_migrate";
     case Service::kAppData:
       return "app_data";
     case Service::kTestEcho:

@@ -44,6 +44,7 @@ enum class Service : uint16_t {
   kBulkPageRequest = 3,  // page-run [first, count] fetch; unowned pages come back as misses
   kDiffMerge = 4,        // multiple-writer diff flush, merged into the home node's frame
   kDiffMergeGated = 5,   // a diff merge whose ack is elided: the barrier done broadcast stands in
+  kRehomePages = 6,      // rebalance ownership handoff: a batch of pages re-homed to the requester
   // Reductions
   kReduceUp = 10,
   kReduceDone = 11,  // raw broadcast dissemination
@@ -52,6 +53,7 @@ enum class Service : uint16_t {
   kJoinResult = 21,
   kStealWork = 22,
   kTerminate = 23,  // raw broadcast: fork/join computation finished
+  kFilamentMigrate = 24,  // rebalance plan execution: a batch of stackless filaments changes node
   // Coarse-grain application traffic (raw UDP semantics)
   kAppData = 30,
   // Tests

@@ -31,7 +31,7 @@ TEST(PatternRecognitionTest, AffineStripsRunInlined) {
   Cluster cluster(cfg);
   g_counter = 0;
   RunReport r = cluster.Run([&](NodeEnv& env) {
-    const int pool = env.CreatePool();
+    const PoolHandle pool = env.CreatePool();
     for (int i = 0; i < 1000; ++i) {
       env.CreateFilament(pool, &CountFilament, i, 2 * i, 7);
     }
@@ -48,7 +48,7 @@ TEST(PatternRecognitionTest, NonAffineArgumentsUseDescriptorPath) {
   Cluster cluster(cfg);
   g_counter = 0;
   RunReport r = cluster.Run([&](NodeEnv& env) {
-    const int pool = env.CreatePool();
+    const PoolHandle pool = env.CreatePool();
     for (int i = 0; i < 100; ++i) {
       env.CreateFilament(pool, &CountFilament, (i * i) % 31, 0, 0);
     }
@@ -65,7 +65,7 @@ TEST(PatternRecognitionTest, InliningIsCheaperInVirtualTime) {
     cfg.nodes = 1;
     Cluster cluster(cfg);
     RunReport r = cluster.Run([&](NodeEnv& env) {
-      const int pool = env.CreatePool();
+      const PoolHandle pool = env.CreatePool();
       for (int i = 0; i < 20000; ++i) {
         env.CreateFilament(pool, &CountFilament, affine ? i : (i * i) % 97, 0, 0);
       }
@@ -86,7 +86,7 @@ TEST(PatternRecognitionTest, MixedPoolSplitsIntoRuns) {
   Cluster cluster(cfg);
   g_counter = 0;
   RunReport r = cluster.Run([&](NodeEnv& env) {
-    const int pool = env.CreatePool();
+    const PoolHandle pool = env.CreatePool();
     for (int i = 0; i < 100; ++i) {  // affine run
       env.CreateFilament(pool, &CountFilament, i, 0, 0);
     }
@@ -138,7 +138,7 @@ TEST(FrontloadingTest, FaultingPoolsRunFirstOnLaterIterations) {
     if (env.node() == 1) {
       // Pool 0 and 1: local-only; pool 2: faults on node 0's page.
       for (int q = 0; q < 3; ++q) {
-        const int pool = env.CreatePool();
+        const PoolHandle pool = env.CreatePool();
         for (int i = 0; i < 4; ++i) {
           if (q == 2) {
             env.CreateFilament(
@@ -224,7 +224,7 @@ TEST(ForkJoinTreeTest, WorkDoublesAcrossTheCluster) {
   // A deep fork tree must reach every node through tree distribution alone (stealing off).
   ClusterConfig cfg;
   cfg.nodes = 8;
-  cfg.steal_enabled = false;
+  cfg.fj.steal_enabled = false;
   cfg.wake_at_front = true;
   Cluster cluster(cfg);
   int64_t total = 0;
@@ -250,7 +250,7 @@ TEST(ForkJoinTreeTest, WorkDoublesAcrossTheCluster) {
 TEST(ForkJoinTest, PruningConvertsForksToCalls) {
   ClusterConfig cfg;
   cfg.nodes = 1;
-  cfg.prune_threshold = 2;
+  cfg.fj.prune_threshold = 2;
   Cluster cluster(cfg);
   RunReport r = cluster.Run([&](NodeEnv& env) {
     FjArgs args;
@@ -266,7 +266,7 @@ TEST(ForkJoinTest, PruneThresholdControlsQueueDepth) {
   for (int threshold : {1, 16}) {
     ClusterConfig cfg;
     cfg.nodes = 1;
-    cfg.prune_threshold = threshold;
+    cfg.fj.prune_threshold = threshold;
     Cluster cluster(cfg);
     RunReport r = cluster.Run([&](NodeEnv& env) {
       FjArgs args;
@@ -310,7 +310,7 @@ TEST(ForkJoinStealTest, StealingBalancesSkewedWork) {
   auto run_with = [&](bool steal) {
     ClusterConfig cfg;
     cfg.nodes = 4;
-    cfg.steal_enabled = steal;
+    cfg.fj.steal_enabled = steal;
     cfg.wake_at_front = true;
     Cluster cluster(cfg);
     double total = 0;
@@ -421,7 +421,7 @@ TEST(ReduceTest, ManySequentialReductionsStayConsistent) {
 TEST(ReduceTest, ReliableBroadcastSurvivesLoss) {
   ClusterConfig cfg;
   cfg.nodes = 4;
-  cfg.loss_rate = 0.2;
+  cfg.fault_plan.loss_rate = 0.2;
   cfg.reliable_broadcast = true;
   cfg.packet.retransmit_timeout = Milliseconds(20.0);
   Cluster cluster(cfg);
@@ -473,7 +473,7 @@ TEST(DeterminismTest, LossyRunsAreAlsoDeterministic) {
     ClusterConfig cfg;
     cfg.nodes = 3;
     cfg.seed = 5;
-    cfg.loss_rate = 0.1;
+    cfg.fault_plan.loss_rate = 0.1;
     cfg.reliable_broadcast = true;
     Cluster cluster(cfg);
     auto x = GlobalRef<double>::Alloc(cluster.layout(), "x");
@@ -510,7 +510,7 @@ TEST(ServerThreadTest, FaultsSpawnReplacementRunners) {
       // Four pools touching different remote pages: each fault suspends one pool and starts a
       // server thread for the next.
       for (int q = 0; q < 4; ++q) {
-        const int pool = env.CreatePool();
+        const PoolHandle pool = env.CreatePool();
         for (int i = 0; i < 8; ++i) {
           env.CreateFilament(
               pool,

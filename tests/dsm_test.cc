@@ -232,7 +232,7 @@ TEST(DsmProtocolTest, MirageWindowDefersTransfers) {
 TEST(DsmProtocolTest, LostPageTrafficRecovers) {
   // Packet reliability end-to-end: page requests and transfers survive heavy loss.
   ClusterConfig cfg = Config(3, Pcp::kWriteInvalidate);
-  cfg.loss_rate = 0.15;
+  cfg.fault_plan.loss_rate = 0.15;
   cfg.reliable_broadcast = true;  // barrier dissemination must survive loss too
   cfg.packet.retransmit_timeout = Milliseconds(20.0);
   Cluster cluster(cfg);
@@ -451,7 +451,7 @@ TEST(DsmPrefetchTest, MigratoryProtocolNeverUsesBulkTransfers) {
 
 TEST(DsmPrefetchTest, LostBulkRepliesAreRebuiltFromCurrentState) {
   ClusterConfig cfg = Config(2, Pcp::kWriteInvalidate);
-  cfg.loss_rate = 0.25;
+  cfg.fault_plan.loss_rate = 0.25;
   cfg.reliable_broadcast = true;
   cfg.packet.retransmit_timeout = Milliseconds(20.0);
   Cluster cluster(cfg);
@@ -502,7 +502,7 @@ TEST_P(PrefetchSweep, JacobiMatchesSequentialWithPrefetchingOn) {
   cfg.dsm.prefetch_hints = true;
   cfg.page_shift = 10;  // 32 doubles/row = 256 B: four rows per page, several pages per strip
   if (loss > 0) {
-    cfg.loss_rate = loss;
+    cfg.fault_plan.loss_rate = loss;
     cfg.reliable_broadcast = true;
     cfg.packet.retransmit_timeout = Milliseconds(20.0);
   }

@@ -153,9 +153,9 @@ TEST(FftTest, BalancedWorkloadGainsLittleFromStealing) {
   p.log2_n = 12;
   ClusterConfig off;
   off.nodes = 8;
-  off.steal_enabled = false;
+  off.fj.steal_enabled = false;
   ClusterConfig on = off;
-  on.steal_enabled = true;
+  on.fj.steal_enabled = true;
   apps::AppRun without = apps::RunFftDf(p, off);
   apps::AppRun with = apps::RunFftDf(p, on);
   ASSERT_TRUE(without.report.completed);

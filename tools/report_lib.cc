@@ -27,6 +27,8 @@ constexpr const char* kFigure9Counters[] = {
     "net.barrier_messages",      "net.requests_sent",
     "net.replies_sent",          "net.acks_sent",          "net.retransmissions",
     "net.messages_sent",         "net.bytes_sent",
+    "core.rebalance_plans",      "core.filaments_migrated",
+    "dsm.pages_rehomed",
 };
 
 std::string FormatUs(double us) {
@@ -85,6 +87,11 @@ double HistSummary::Percentile(double p) const {
 }
 
 uint64_t RunSummary::ClusterCounter(const std::string& name) const {
+  if (name == "makespan_us") {
+    // Virtual pseudo-counter so gate baselines can pin the run's completion time alongside the
+    // traffic counters (the load-balancing gate holds the balanced run's makespan down with it).
+    return static_cast<uint64_t>(makespan_us);
+  }
   auto it = cluster_counters.find(name);
   return it == cluster_counters.end() ? 0 : it->second;
 }
@@ -553,6 +560,7 @@ struct CritTrace {
   std::map<int, double> done_ts;
   std::map<int, std::map<uint64_t, TraceSpan>> reduces;
   std::map<int, std::vector<std::pair<TraceSpan, uint64_t>>> faults;
+  uint64_t rebalance_events = 0;  // plan/migrate instants on the rebalance track
 };
 
 bool ParseCritTrace(const std::string& text, CritTrace* out, std::string* error) {
@@ -576,8 +584,11 @@ bool ParseCritTrace(const std::string& text, CritTrace* out, std::string* error)
     const auto tid = static_cast<int64_t>(e.GetNumber("tid", -1));
     const double ts = e.GetNumber("ts", 0.0);
     if (ph == "i") {
-      if (e.GetString("name") == "done" && ts > out->done_ts[pid]) {
+      const std::string name = e.GetString("name");
+      if (name == "done" && ts > out->done_ts[pid]) {
         out->done_ts[pid] = ts;
+      } else if (name.rfind("rebalance", 0) == 0) {
+        ++out->rebalance_events;
       }
     } else if (ph == "B") {
       open[{pid, tid}].emplace_back(e.GetString("name"), ts);
@@ -674,6 +685,7 @@ CriticalPath BuildCriticalPath(const std::string& trace_text) {
     path.error = "trace has no per-node \"done\" instants (not produced by this runtime?)";
     return path;
   }
+  path.rebalance_events = t.rebalance_events;
   for (const auto& [node, ts] : t.done_ts) {
     if (ts > path.completion_us) {
       path.completion_us = ts;
@@ -838,6 +850,10 @@ void PrintCritPath(const CriticalPath& path, size_t top_n, std::ostream& os) {
      << " us (" << Pct(path.barrier_us, path.completion_us) << ")\n";
   os << "  what-if zero-cost page serves: " << FormatUs(WhatIfZeroCostPages(path)) << " us ("
      << Pct(path.fault_us, path.completion_us) << " faster)\n";
+  if (path.rebalance_events > 0) {
+    os << "  load balancing: " << path.rebalance_events
+       << " rebalance event(s) on the trace (plans + migrations, DESIGN.md §13)\n";
+  }
   // The top_n longest hops, each tagged with its position on the path so the reader can line
   // them up with the full timeline.
   std::vector<size_t> order(path.segments.size());

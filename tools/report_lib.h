@@ -156,6 +156,7 @@ struct CriticalPath {
   double compute_us = 0.0;            // segment-duration sums by kind
   double fault_us = 0.0;
   double barrier_us = 0.0;
+  uint64_t rebalance_events = 0;      // "rebalance ..." instants seen anywhere on the trace
   std::vector<PathSegment> segments;  // time order, from ts 0 to completion_us
 };
 CriticalPath BuildCriticalPath(const std::string& trace_text);
