@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         .Set("paper_ms", paper_ms[i])
         .Set("messages_per_barrier", static_cast<double>(r.net.messages_sent) / barriers);
     if (nodes == 8) {
-      bench::EmitMetrics(r, "barrier8", &args);
+      bench::EmitMetrics(r, "barrier8", &args, "barrier");
     }
   }
   std::printf("(tournament + broadcast: p losers' reports + acks + 1 broadcast = O(p) messages)\n");

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench::SpeedupRow{nodes, cg.seconds(), df.seconds(), paper_cg[i] * ratio,
                                      paper_df[i] * ratio, seq.seconds(), 92.1 * ratio});
     if (nodes == 8) {
-      bench::EmitMetrics(df.report, "exprtree_df8", &args);
+      bench::EmitMetrics(df.report, "exprtree_df8", &args, "exprtree");
     }
   }
   bench::PrintSpeedupTable(rows);

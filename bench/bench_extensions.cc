@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       jr.AddRow().Set("extension", 1).Set("nodes", nodes).Set("df_s", df.seconds()).Set(
           "seq_s", seq.seconds());
       if (nodes == 8) {
-        bench::EmitMetrics(df.report, "fft_df8", &args);
+        bench::EmitMetrics(df.report, "fft_df8", &args, "fft");
       }
     }
     std::printf("(honest negative result: on 10 Mb/s Ethernet the transform is bandwidth-bound —\n"

@@ -190,7 +190,7 @@ int main(int argc, char** argv) {
     std::printf("%-20s %-20s %12llu page bytes, %7llu page msgs\n", gr.label,
                 dsm::PcpName(gr.pcp), static_cast<unsigned long long>(t.page_data_bytes),
                 static_cast<unsigned long long>(t.page_msgs));
-    bench::EmitMetrics(run.report, gr.label, &args);
+    bench::EmitMetrics(run.report, gr.label, &args, "false_sharing");
     if (gr.pcp == dsm::Pcp::kWriteInvalidate) {
       gate_wi_bytes = t.page_data_bytes;
     } else if (gr.pcp == dsm::Pcp::kDiff) {
@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.datagrams),
                 static_cast<unsigned long long>(gate_diff_datagrams), run.seconds,
                 ToSeconds(gate_diff_makespan));
-    bench::EmitMetrics(run.report, "false_sharing_diff8_co", &args);
+    bench::EmitMetrics(run.report, "false_sharing_diff8_co", &args, "false_sharing");
     DFIL_CHECK(t.datagrams * 10 <= gate_diff_datagrams * 7)
         << "coalescing sent " << t.datagrams << " datagrams vs " << gate_diff_datagrams
         << " plain (< 30% reduction)";

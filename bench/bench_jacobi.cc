@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(impl),
                   static_cast<unsigned long long>(inv_msgs),
                   static_cast<unsigned long long>(rf));
-      bench::EmitMetrics(df.report, "jacobi_df8", &args);
+      bench::EmitMetrics(df.report, "jacobi_df8", &args, "jacobi");
     }
   }
   bench::PrintSpeedupTable(rows);

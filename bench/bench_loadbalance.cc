@@ -186,8 +186,8 @@ int main(int argc, char** argv) {
       .Set("pages_rehomed", static_cast<double>(rehomed));
   jr.Write();
 
-  bench::EmitMetrics(stat.report, "loadbalance_static8", &args);
-  bench::EmitMetrics(bal.report, "loadbalance_balanced8", &args);
+  bench::EmitMetrics(stat.report, "loadbalance_static8", &args, "loadbalance");
+  bench::EmitMetrics(bal.report, "loadbalance_balanced8", &args, "loadbalance");
   bench::EmitTrace(bal.report, "loadbalance_balanced8");
 
   // The headline claim, enforced on every run (the gate additionally pins the exact counters).

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                   "medium busy %.1f s of %.1f s makespan\n",
                   static_cast<unsigned long long>(served), ToSeconds(df.report.medium_busy),
                   df.seconds());
-      bench::EmitMetrics(df.report, "matmul_df8", &args);
+      bench::EmitMetrics(df.report, "matmul_df8", &args, "matmul");
     }
   }
   bench::PrintSpeedupTable(rows);

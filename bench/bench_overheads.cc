@@ -46,7 +46,7 @@ void MeasureSimulatedCosts() {
       inlined_total = env.Now() - before_run;
     });
     DFIL_CHECK(r.completed);
-    bench::EmitMetrics(r, "overheads_inline1");
+    bench::EmitMetrics(r, "overheads_inline1", nullptr, "overheads");
   }
   std::printf("%-24s %8.3f us/op %12.0f ops/sec   (paper: 0.126 us, 7,950,000/sec)\n",
               "filament switch inlined", ToMicroseconds(inlined_total) / kN,

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(attempts),
                   static_cast<unsigned long long>(ok),
                   static_cast<unsigned long long>(denied));
-      bench::EmitMetrics(df.report, "quadrature_df8", &args);
+      bench::EmitMetrics(df.report, "quadrature_df8", &args, "quadrature");
     }
   }
   bench::PrintSpeedupTable(rows);

@@ -121,12 +121,22 @@ RunReport Cluster::Run(const NodeMain& node_main) {
   report.provenance["waitstate"] = config_.waitstate_enabled ? "on" : "off";
   report.provenance["balancer"] = config_.balancer.enabled ? "on" : "off";
   report.provenance["loss_rate"] = std::to_string(config_.EffectiveFaultPlan().loss_rate);
+  report.provenance["pool_profile"] = config_.pool_profile_enabled ? "on" : "off";
+  // Run-fingerprint fields (DESIGN.md §14): the canonical config digest makes two runs provably
+  // comparable (equal = same schedule-affecting configuration) and the build SHA pins the code.
+  report.provenance["config_digest"] = config_.DigestHex();
+#ifdef DFIL_GIT_SHA
+  report.provenance["git"] = DFIL_GIT_SHA;
+#else
+  report.provenance["git"] = "unknown";
+#endif
   for (auto& node : nodes_) {
     NodeReport nr;
     nr.node = node->id();
     nr.finished_at = node->main_finished_at();
     nr.final_clock = node->Clock();
     nr.waits = node->waitstate();
+    nr.poolprof = node->poolprof();
     nr.breakdown = node->breakdown();
     nr.filaments = node->fil_stats();
     nr.dsm = node->dsm().stats();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/poolprof.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/common/waitstate.h"
@@ -42,6 +43,9 @@ struct NodeReport {
   // Wait-state ledgers + flight ring (zeroed unless ClusterConfig::waitstate_enabled). After
   // FinalizeWaitstate, run_time + serve_time + wait_time == final_clock exactly.
   WaitStateRecorder waits;
+  // Per-pool run/blocked/fault attribution (empty unless ClusterConfig::pool_profile_enabled).
+  // Invariant: pool_run_total() + other_run() == waits.run_time() exactly (SimTime resolution).
+  PoolProfiler poolprof;
   std::map<uint16_t, uint64_t> sent_by_service;  // Figure 9 message counts
   std::vector<uint32_t> page_heat;  // demand faults per page on this node
 };

@@ -103,6 +103,12 @@ struct ClusterConfig {
   // default because every analysis layer (dfil_report critpath/blame, flight dumps) feeds on it.
   bool waitstate_enabled = true;
 
+  // Per-pool profiling (common/poolprof.h): splits the run ledger by the pool whose server
+  // thread held the processor, with fault / filament / migration counts per pool, exported as
+  // the "pools" section of dfil-metrics-v2. Never charges time or sends messages, so schedules
+  // are byte-identical on and off; on by default, like the wait-state recorder it refines.
+  bool pool_profile_enabled = true;
+
   // Runaway guard for the virtual clock.
   SimTime max_virtual_time = Seconds(100000.0);
 
@@ -115,6 +121,18 @@ struct ClusterConfig {
   // human-readable line per problem (empty = valid). Cluster's constructor calls this and
   // refuses invalid configs, so errors surface at construction instead of as a mid-run hang.
   std::vector<std::string> Validate() const;
+
+  // Canonical 64-bit FNV-1a digest of every schedule-affecting knob (node count, cost model,
+  // network, seed, effective fault plan, DSM/packet/coalesce/fork-join/balancer parameters).
+  // Two runs with equal digests executed the same configuration; unequal digests name a real
+  // config difference. Observability knobs (trace_enabled, waitstate_enabled,
+  // pool_profile_enabled) are deliberately EXCLUDED — they never perturb the schedule, so runs
+  // stay provably comparable across instrumentation settings. Stamped into every metrics export
+  // as the "fingerprint.config" field; dfil_diff refuses to diff runs whose digests conceal a
+  // config change the user did not expect.
+  uint64_t Digest() const;
+  // Digest() as 16 lowercase hex digits (the JSON/provenance form).
+  std::string DigestHex() const;
 };
 
 }  // namespace dfil::core

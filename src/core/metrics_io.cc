@@ -120,19 +120,67 @@ std::map<std::string, uint64_t> ClusterCounters(const RunReport& report) {
   return totals;
 }
 
+// Cluster-wide per-filament-function rollup of the per-pool ledgers. Key is the deterministic fn
+// id (first-registration order, identical across nodes for SPMD programs); fn -1 is the residual:
+// non-pool run time plus all serve time (handlers serve the cluster, not any one pool).
+struct FnRollup {
+  SimTime run = 0;
+  SimTime blocked = 0;
+  SimTime serve = 0;
+  uint64_t faults = 0;
+  uint64_t filaments_run = 0;
+  uint64_t migrated_in = 0;
+};
+
+std::map<int, FnRollup> RollupByFn(const RunReport& report) {
+  std::map<int, FnRollup> by_fn;
+  for (const NodeReport& nr : report.nodes) {
+    for (const auto& [pool, lg] : nr.poolprof.pools()) {
+      FnRollup& r = by_fn[lg.fn];
+      r.run += lg.run;
+      r.blocked += lg.blocked;
+      r.faults += lg.faults;
+      r.filaments_run += lg.filaments_run;
+      r.migrated_in += lg.migrated_in;
+    }
+    FnRollup& other = by_fn[-1];
+    other.run += nr.poolprof.other_run();
+    other.serve += nr.waits.serve_time();
+  }
+  return by_fn;
+}
+
+bool PoolProfilingOn(const RunReport& report) {
+  const auto it = report.provenance.find("pool_profile");
+  return it != report.provenance.end() && it->second == "on";
+}
+
+std::string ProvenanceOr(const std::map<std::string, std::string>& provenance,
+                         const std::string& key, const std::string& fallback) {
+  const auto it = provenance.find(key);
+  return it != provenance.end() ? it->second : fallback;
+}
+
 }  // namespace
 
 void WriteMetricsJson(const RunReport& report, const std::string& label, std::ostream& os,
                       const std::map<std::string, std::string>& extra_provenance) {
-  os << "{\n  \"schema\": \"dfil-metrics-v2\",\n  \"label\": \"" << label << "\",\n  \"pcp\": \""
-     << report.pcp << "\",\n  \"nodes\": " << report.num_nodes
-     << ",\n  \"completed\": " << (report.completed ? 1 : 0)
-     << ",\n  \"makespan_us\": " << ToMicroseconds(report.makespan)
-     << ",\n  \"provenance\": {";
   std::map<std::string, std::string> provenance = report.provenance;
   for (const auto& [key, value] : extra_provenance) {
     provenance[key] = value;
   }
+  os << "{\n  \"schema\": \"dfil-metrics-v2\",\n  \"label\": \"" << label << "\",\n  \"pcp\": \""
+     << report.pcp << "\",\n  \"nodes\": " << report.num_nodes
+     << ",\n  \"completed\": " << (report.completed ? 1 : 0)
+     << ",\n  \"makespan_us\": " << ToMicroseconds(report.makespan)
+     // Run fingerprint: the four fields dfil_diff checks before comparing two runs. "config" is
+     // the canonical digest of every schedule-affecting ClusterConfig knob (config.cc); "app" is
+     // the program identity (bench-supplied; distinct labels like jacobi_wi8/jacobi_ii8 share it).
+     << ",\n  \"fingerprint\": {\"config\": \"" << ProvenanceOr(provenance, "config_digest", "")
+     << "\", \"git\": \"" << ProvenanceOr(provenance, "git", "unknown") << "\", \"seed\": \""
+     << ProvenanceOr(provenance, "seed", "") << "\", \"app\": \""
+     << ProvenanceOr(provenance, "app", label) << "\"}"
+     << ",\n  \"provenance\": {";
   bool first = true;
   for (const auto& [key, value] : provenance) {
     os << (first ? "\n" : ",\n") << "    \"" << key << "\": \"" << value << "\"";
@@ -145,7 +193,23 @@ void WriteMetricsJson(const RunReport& report, const std::string& label, std::os
     os << (first ? "\n" : ",\n") << "      \"" << name << "\": " << value;
     first = false;
   }
-  os << "\n    }\n  },\n  \"per_node\": [";
+  os << "\n    },\n    \"pools_by_fn\": [";
+  if (PoolProfilingOn(report)) {
+    first = true;
+    for (const auto& [fn, r] : RollupByFn(report)) {
+      os << (first ? "\n" : ",\n") << "      {\"fn\": " << fn
+         << ", \"run_us\": " << ToMicroseconds(r.run)
+         << ", \"blocked_us\": " << ToMicroseconds(r.blocked)
+         << ", \"serve_us\": " << ToMicroseconds(r.serve) << ", \"faults\": " << r.faults
+         << ", \"filaments_run\": " << r.filaments_run << ", \"migrated_in\": " << r.migrated_in
+         << "}";
+      first = false;
+    }
+    os << (first ? "]" : "\n    ]");
+  } else {
+    os << "]";
+  }
+  os << "\n  },\n  \"per_node\": [";
   for (size_t i = 0; i < report.nodes.size(); ++i) {
     const NodeReport& nr = report.nodes[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\n      \"node\": " << nr.node
@@ -171,7 +235,29 @@ void WriteMetricsJson(const RunReport& report, const std::string& label, std::os
       os << (k == 0 ? "" : ", ") << "\"" << WaitKindName(kind)
          << "\": " << nr.waits.event_count(kind);
     }
-    os << "},\n      \"epochs\": [";
+    os << "},\n      \"pools\": [";
+    if (PoolProfilingOn(report)) {
+      bool first_pool = true;
+      for (const auto& [pool, lg] : nr.poolprof.pools()) {
+        os << (first_pool ? "\n" : ",\n") << "        {\"pool\": " << pool
+           << ", \"fn\": " << lg.fn << ", \"run_us\": " << ToMicroseconds(lg.run)
+           << ", \"blocked_us\": " << ToMicroseconds(lg.blocked)
+           << ", \"serve_us\": 0, \"faults\": " << lg.faults
+           << ", \"filaments_run\": " << lg.filaments_run << ", \"migrated_in\": " << lg.migrated_in
+           << "}";
+        first_pool = false;
+      }
+      // Residual row: run time outside any pool (main/sync/balancer code) plus all handler serve
+      // time. With it, sum(run_us)+sum(serve_us) over rows equals this node's run_us+serve_us.
+      os << (first_pool ? "\n" : ",\n") << "        {\"pool\": -1, \"fn\": -1, \"run_us\": "
+         << ToMicroseconds(nr.poolprof.other_run())
+         << ", \"blocked_us\": 0, \"serve_us\": " << ToMicroseconds(nr.waits.serve_time())
+         << ", \"faults\": 0, \"filaments_run\": 0, \"migrated_in\": 0}";
+      os << "\n      ]";
+    } else {
+      os << "]";
+    }
+    os << ",\n      \"epochs\": [";
     const auto& epochs = nr.metrics.epochs();
     for (size_t e = 0; e < epochs.size(); ++e) {
       os << (e == 0 ? "\n        {" : ",\n        {");

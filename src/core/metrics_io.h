@@ -4,20 +4,31 @@
 // tools/dfil_report (and the CI regression gate) consume.
 //
 // Schema (dfil-metrics-v2; v1 lacked provenance, wait_us/run_us/serve_us, final_clock_us and
-// epochs — readers must accept both):
+// epochs — readers must accept both; fingerprint/pools are optional v2 extensions readers must
+// tolerate missing):
 //   {
 //     "schema": "dfil-metrics-v2",
 //     "label": "<run label>",
 //     "pcp": "<protocol>", "nodes": N, "completed": 0|1, "makespan_us": ...,
+//     "fingerprint": {"config": "<16-hex ClusterConfig::DigestHex>", "git": "<sha|unknown>",
+//                     "seed": "3", "app": "jacobi"},         // comparability check (dfil_diff)
 //     "provenance": {"seed": "3", "coalesce": "on", ...},   // config knobs + bench CLI overlay
-//     "cluster": {"counters": {...}},                       // cluster-wide totals
+//     "cluster": {"counters": {...},                        // cluster-wide totals
+//                 "pools_by_fn": [                          // per-filament-fn rollup (all nodes);
+//                   {"fn": 0, "run_us": ..., "blocked_us": ...,  //   fn -1 = residual (non-pool
+//                    "serve_us": ..., "faults": N,          //   run + all serve time)
+//                    "filaments_run": N, "migrated_in": N}, ...]},
 //     "per_node": [
 //       {"node": i,
 //        "finished_at_us": ..., "final_clock_us": ...,
-//        "time_us": {"work": ..., "filament_exec": ..., ...},  // Figure 10 row
+//        "time_us": {"work": ..., "filament_exec": ...,...},// Figure 10 row
 //        "run_us": ..., "serve_us": ...,                    // wait-state clock ledgers;
-//        "wait_us": {"page_fault": ..., "barrier": ..., ...},  //   run+serve+sum(wait) ==
+//        "wait_us": {"page_fault": ..., "barrier": ...,...},//   run+serve+sum(wait) ==
 //        "wait_events": {"page_fault": N, ...},             //   final_clock_us
+//        "pools": [                                         // per-pool ledgers ([] when
+//          {"pool": p, "fn": f, "run_us": ...,              //   pool_profile is off); row
+//           "blocked_us": ..., "serve_us": 0, "faults": N,  //   pool=-1 is the residual, so
+//           "filaments_run": N, "migrated_in": N}, ...],    //   sum(run+serve) == run+serve
 //        "epochs": [{"epoch": 1, "barrier_wait_us": ..., "faults": ..., ...}, ...],
 //        "counters": {"dsm.read_faults": ..., "net.sent.page_request": ..., ...},
 //        "histograms": {"dsm.fault_wait_us": {...}, ...},

@@ -101,6 +101,7 @@ NodeRuntime::NodeRuntime(NodeId id, const ClusterConfig& config, sim::Machine* m
   if (ws_on_) {
     packet_->set_waitstate(&waitstate_);
   }
+  pp_on_ = config_.pool_profile_enabled;
 
   dsm::DsmNode::Hooks hooks;
   hooks.charge = [this](TimeCategory c, SimTime t) { Charge(c, t); };
@@ -257,6 +258,9 @@ void NodeRuntime::Charge(TimeCategory category, SimTime cost) {
       if (ws_on_) {
         waitstate_.AddRun(remaining);
       }
+      if (pp_on_) {
+        poolprof_.AddRun(threads_.current()->profile_pool(), remaining);
+      }
       return;
     }
     if (limit > clock_) {
@@ -265,6 +269,9 @@ void NodeRuntime::Charge(TimeCategory category, SimTime cost) {
       clock_ = limit;
       if (ws_on_) {
         waitstate_.AddRun(step);
+      }
+      if (pp_on_) {
+        poolprof_.AddRun(threads_.current()->profile_pool(), step);
       }
     }
     YieldForEvent();
@@ -319,11 +326,16 @@ void NodeRuntime::AccountWake(threads::ServerThread* t) {
   // blocked_since is -1 for a thread that marked itself blocked but was woken before it ever
   // suspended (the fault path charges — and can take a wake — between marking and BlockCurrent);
   // such a thread never waited, so there is no interval to record.
-  if (ws_on_ && t->blocked_since() >= 0) {
+  if ((ws_on_ || pp_on_) && t->blocked_since() >= 0) {
     if (clock_ > t->blocked_since()) {
-      uint64_t detail = 0;
-      const WaitKind kind = KindOfBlockReason(t->block_reason(), &detail);
-      waitstate_.Record(kind, detail, t->blocked_since(), clock_);
+      if (ws_on_) {
+        uint64_t detail = 0;
+        const WaitKind kind = KindOfBlockReason(t->block_reason(), &detail);
+        waitstate_.Record(kind, detail, t->blocked_since(), clock_);
+      }
+      if (pp_on_) {
+        poolprof_.AddBlocked(t->profile_pool(), clock_ - t->blocked_since());
+      }
     }
     t->set_blocked_since(-1);
   }

@@ -25,6 +25,7 @@
 
 #include "src/common/intrusive_list.h"
 #include "src/common/metrics.h"
+#include "src/common/poolprof.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/common/types.h"
@@ -119,6 +120,10 @@ class NodeRuntime final : public sim::NodeHost {
   // Folds the still-unclassified trailing scheduler gap into the idle wait ledger, making
   // run + serve + wait equal the final clock exactly. Called once by Cluster::Run at the end.
   void FinalizeWaitstate();
+
+  // Per-pool run/blocked/fault attribution (common/poolprof.h). Stays empty unless
+  // ClusterConfig::pool_profile_enabled.
+  const PoolProfiler& poolprof() const { return poolprof_; }
 
   // --- Accessors ---
   NodeEnv& env() { return env_; }
@@ -236,6 +241,9 @@ class NodeRuntime final : public sim::NodeHost {
   // Wait-state accounting (no-ops unless config.waitstate_enabled).
   bool ws_on_ = false;
   WaitStateRecorder waitstate_;
+  // Per-pool attribution (no-ops unless config.pool_profile_enabled).
+  bool pp_on_ = false;
+  PoolProfiler poolprof_;
   // Prior-epoch counter snapshot, so Reduce can record per-epoch deltas.
   struct EpochBase {
     uint64_t faults = 0;

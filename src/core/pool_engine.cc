@@ -20,6 +20,9 @@ void PoolEngine::AddFilament(int pool, FilamentFn fn, int64_t a0, int64_t a1, in
   Pool& p = *pools_[pool];
   p.filaments.push_back(Filament{fn, a0, a1, a2});
   p.patterns_valid = false;
+  if (rt_->pp_on_) {
+    rt_->poolprof_.BindPoolFn(pool, reinterpret_cast<const void*>(fn));
+  }
   rt_->Charge(TimeCategory::kFilamentExec, rt_->costs().filament_create);
   rt_->fil_stats().filaments_created++;
 }
@@ -205,6 +208,9 @@ void PoolEngine::WaitForMigrations() {
     for (const Filament& f : batch) {
       AddFilament(pool, f.fn, f.a0, f.a1, f.a2);
     }
+    if (rt_->pp_on_) {
+      rt_->poolprof_.OnMigratedIn(pool, batch.size());
+    }
     finish_stack_.clear();  // pool set changed: frontloading restarts from creation order
   }
 }
@@ -315,9 +321,11 @@ void PoolEngine::RunnerLoop() {
     Pool* pool = order_[next_pool_++];
     pool->running = true;
     running_pool_[rt_->CurrentThread()] = RunnerPosition{pool, 0};
+    rt_->CurrentThread()->set_profile_pool(pool->id);
     rt_->TraceBegin("pool", "pool " + std::to_string(pool->id));
     ExecutePool(pool);
     rt_->TraceEnd();
+    rt_->CurrentThread()->set_profile_pool(-1);
     running_pool_.erase(rt_->CurrentThread());
     pool->running = false;
     pool->completed = true;
@@ -396,6 +404,9 @@ void PoolEngine::ExecutePool(Pool* pool) {
       }
       s.fn(env, s.a0 + k * s.d0, s.a1 + k * s.d1, s.a2 + k * s.d2);
     }
+    if (rt_->pp_on_) {
+      rt_->poolprof_.OnFilamentsRun(pool->id, static_cast<uint64_t>(s.count));
+    }
   }
 }
 
@@ -423,6 +434,9 @@ void PoolEngine::OnThreadBlockedOnPage(PageId page) {
   }
   if (pool->auto_profile) {
     pool->fault_profile.emplace_back(it->second.ordinal, page);
+  }
+  if (rt_->pp_on_) {
+    rt_->poolprof_.OnFault(pool->id);
   }
   rt_->fil_stats().pool_suspensions++;
   // The paper's key move: a fault starts a new server thread on a different pool, so the page

@@ -50,6 +50,13 @@ class ServerThread {
   int64_t blocked_since() const { return blocked_since_; }
   void set_blocked_since(int64_t t) { blocked_since_ = t; }
 
+  // Pool this thread is currently executing for (-1 = not a pool runner). Set by the pool
+  // engine around ExecutePool; read by the runtime's Charge/AccountWake paths to attribute run
+  // and blocked time per pool (common/poolprof.h). Stays set while the runner is suspended on a
+  // fault, so the blocked interval lands on the faulting pool.
+  int profile_pool() const { return profile_pool_; }
+  void set_profile_pool(int pool) { profile_pool_ = pool; }
+
   // Link used by ready queues and wait queues (a thread is on at most one at a time).
   ListNode queue_link;
 
@@ -60,6 +67,7 @@ class ServerThread {
   ThreadState state_ = ThreadState::kReady;
   std::string block_reason_;
   int64_t blocked_since_ = -1;
+  int profile_pool_ = -1;
   Context context_;
   std::unique_ptr<Stack> stack_;
   std::function<void()> body_;

@@ -1,0 +1,230 @@
+// dfil_diff: "did my change make it slower, and why?" — A/B attribution over the runtime's
+// observability artifacts.
+//
+// Three modes, selected by flag:
+//   * default: compare two METRICS_*.json runs (optionally plus their two TRACE_*.json traces).
+//     Verifies the run fingerprints are comparable (same app / node count / page size; a config
+//     digest delta is the normal deliberate-A/B case and is itemized), then prints ranked deltas
+//     of every cluster counter, merged-histogram percentile, per-pool ledger, per-epoch series
+//     cell, and per-page fault heat. With traces, re-runs BuildCriticalPath on both and diffs
+//     the blame tables, so "the makespan moved" comes with "page 223 gained 4 ms of path time".
+//   * --gate BASELINE.json: the dfil_report counter gate plus attribution — every failing
+//     counter is localized to nodes / pages / epochs of the failing run. CI runs this when the
+//     plain gate goes red.
+//   * --history FILE.jsonl: append one-line JSON summaries of METRICS_*.json / BENCH_*.json
+//     artifacts to a result-history log (idempotent: exact-duplicate lines are skipped).
+//
+// Exit codes (shared contract with dfil_report, tools/report_lib.h):
+//   0  success
+//   1  a gate/check failed or the runs are incompatible (no --force)
+//   2  usage error
+//   3  an input could not be read or parsed
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/report_lib.h"
+
+namespace {
+
+using dfil::report::AppendHistory;
+using dfil::report::BenchHistoryLine;
+using dfil::report::BuildCriticalPath;
+using dfil::report::CliOptions;
+using dfil::report::CriticalPath;
+using dfil::report::DiffBlame;
+using dfil::report::DiffRuns;
+using dfil::report::ExplainGate;
+using dfil::report::GateResult;
+using dfil::report::HistoryLine;
+using dfil::report::kExitCheckFailed;
+using dfil::report::kExitIo;
+using dfil::report::kExitOk;
+using dfil::report::kExitUsage;
+using dfil::report::LoadRun;
+using dfil::report::ParseCliOptions;
+using dfil::report::PrintBlameDiff;
+using dfil::report::PrintCritPath;
+using dfil::report::PrintRunDiff;
+using dfil::report::ReadFile;
+using dfil::report::RunDiff;
+using dfil::report::RunSummary;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dfil_diff [flags] A_METRICS.json B_METRICS.json [A_TRACE.json B_TRACE.json]\n"
+      "       dfil_diff --gate BASELINE.json METRICS_*.json...\n"
+      "       dfil_diff --history FILE.jsonl METRICS_*.json|BENCH_*.json...\n"
+      "\n"
+      "Compares two runs (A = baseline, B = candidate) and prints a ranked attribution report:\n"
+      "fingerprint comparability, then per-counter / per-histogram / per-pool / per-epoch /\n"
+      "per-page deltas, largest relative movement first. With the optional trace pair, the\n"
+      "end-to-end critical path is rebuilt for both runs and the blame tables are diffed.\n"
+      "\n"
+      "--gate runs the dfil-gate-v1 counter gate and, for every failing counter, prints where\n"
+      "the drift lives (per-node split, hottest pages, top epochs). --history appends one-line\n"
+      "JSON summaries of result artifacts to a JSONL log, skipping exact duplicates.\n"
+      "\n"
+      "flags (position-independent):\n"
+      "  --top N          rows per section (default 10)\n"
+      "  --force          diff even when fingerprints are incompatible (different app/shape)\n"
+      "  --gate FILE      gate-explain mode against a dfil-gate-v1 baseline\n"
+      "  --history FILE   history-append mode\n"
+      "\n"
+      "exit codes (shared with dfil_report): 0 ok, 1 gate/check failure or incompatible runs,\n"
+      "2 usage error, 3 unreadable/unparseable input\n");
+  return kExitUsage;
+}
+
+int CmdGate(const CliOptions& opt) {
+  if (opt.paths.empty()) {
+    return Usage();
+  }
+  std::string baseline_text;
+  std::string error;
+  if (!ReadFile(opt.gate_baseline, &baseline_text, &error)) {
+    std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+    return kExitIo;
+  }
+  std::vector<RunSummary> runs;
+  for (const std::string& path : opt.paths) {
+    RunSummary run;
+    if (!LoadRun(path, &run, &error)) {
+      std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+      return kExitIo;
+    }
+    runs.push_back(std::move(run));
+  }
+  GateResult gate = ExplainGate(baseline_text, runs, opt.top_n, std::cout, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+    return kExitIo;
+  }
+  std::printf("gate: %s\n", gate.ok ? "PASS" : "FAIL");
+  return gate.ok ? kExitOk : kExitCheckFailed;
+}
+
+int CmdHistory(const CliOptions& opt) {
+  if (opt.paths.empty()) {
+    return Usage();
+  }
+  std::vector<std::string> lines;
+  for (const std::string& path : opt.paths) {
+    std::string text;
+    std::string error;
+    if (!ReadFile(path, &text, &error)) {
+      std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+      return kExitIo;
+    }
+    // METRICS files carry a dfil-metrics schema tag; everything else must be a BENCH report.
+    if (text.find("\"dfil-metrics-v") != std::string::npos) {
+      RunSummary run;
+      if (!dfil::report::ParseRun(text, &run, &error)) {
+        std::fprintf(stderr, "dfil_diff: %s: %s\n", path.c_str(), error.c_str());
+        return kExitIo;
+      }
+      lines.push_back(HistoryLine(run));
+    } else {
+      std::string line;
+      if (!BenchHistoryLine(text, &line, &error)) {
+        std::fprintf(stderr, "dfil_diff: %s: %s\n", path.c_str(), error.c_str());
+        return kExitIo;
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+  size_t appended = 0;
+  std::string error;
+  if (!AppendHistory(opt.history_path, lines, &appended, &error)) {
+    std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+    return kExitIo;
+  }
+  std::printf("appended %zu line(s) to %s (%zu duplicate(s) skipped)\n", appended,
+              opt.history_path.c_str(), lines.size() - appended);
+  return kExitOk;
+}
+
+int CmdDiff(const CliOptions& opt) {
+  if (opt.paths.size() != 2 && opt.paths.size() != 4) {
+    return Usage();
+  }
+  RunSummary a;
+  RunSummary b;
+  std::string error;
+  if (!LoadRun(opt.paths[0], &a, &error) ||
+      (error.clear(), !LoadRun(opt.paths[1], &b, &error))) {
+    std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+    return kExitIo;
+  }
+  const RunDiff diff = DiffRuns(a, b);
+  PrintRunDiff(diff, a, b, opt.top_n, std::cout);
+  if (!diff.fingerprints.compatible && !opt.force) {
+    std::fprintf(stderr,
+                 "dfil_diff: fingerprints are incompatible — the deltas above compare different "
+                 "programs (use --force to accept them anyway)\n");
+    return kExitCheckFailed;
+  }
+  if (opt.paths.size() == 4) {
+    std::string trace_a;
+    std::string trace_b;
+    if (!ReadFile(opt.paths[2], &trace_a, &error) || !ReadFile(opt.paths[3], &trace_b, &error)) {
+      std::fprintf(stderr, "dfil_diff: %s\n", error.c_str());
+      return kExitIo;
+    }
+    const CriticalPath path_a = BuildCriticalPath(trace_a);
+    const CriticalPath path_b = BuildCriticalPath(trace_b);
+    auto check = [](const std::string& path, const CriticalPath& built, int* rc) {
+      if (built.ok) {
+        return true;
+      }
+      std::fprintf(stderr, "dfil_diff: %s: %s\n", path.c_str(), built.error.c_str());
+      *rc = built.error.rfind("JSON parse error", 0) == 0 ? kExitIo : kExitCheckFailed;
+      return false;
+    };
+    int rc = kExitOk;
+    if (!check(opt.paths[2], path_a, &rc) || !check(opt.paths[3], path_b, &rc)) {
+      return rc;
+    }
+    std::cout << "\nCritical path A (" << opt.paths[2] << "):\n";
+    PrintCritPath(path_a, 3, std::cout);
+    std::cout << "\nCritical path B (" << opt.paths[3] << "):\n";
+    PrintCritPath(path_b, 3, std::cout);
+    std::cout << "\n";
+    PrintBlameDiff(DiffBlame(path_a, path_b), opt.top_n, std::cout);
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h" || first == "help") {
+      Usage();
+      return kExitOk;
+    }
+  }
+  const CliOptions opt = ParseCliOptions(argc, argv, 1);
+  if (!opt.error.empty()) {
+    std::fprintf(stderr, "dfil_diff: bad flag '%s'\n", opt.error.c_str());
+    return Usage();
+  }
+  if (!opt.check_baseline.empty()) {
+    std::fprintf(stderr, "dfil_diff: --check is a dfil_report flag; did you mean --gate?\n");
+    return Usage();
+  }
+  if (!opt.gate_baseline.empty() && !opt.history_path.empty()) {
+    std::fprintf(stderr, "dfil_diff: --gate and --history are mutually exclusive\n");
+    return Usage();
+  }
+  if (!opt.gate_baseline.empty()) {
+    return CmdGate(opt);
+  }
+  if (!opt.history_path.empty()) {
+    return CmdHistory(opt);
+  }
+  return CmdDiff(opt);
+}

@@ -6,7 +6,7 @@
 // Usage() below is the authoritative subcommand list; flags may appear anywhere on the command
 // line (they are parsed order-insensitively).
 //
-// Exit codes:
+// Exit codes (the shared contract in tools/report_lib.h, common to dfil_report and dfil_diff):
 //   0  success
 //   1  a gate or check failed (counter drift, malformed trace, broken critical path)
 //   2  usage error (unknown command, missing operands, bad flag)
@@ -25,19 +25,20 @@ using dfil::report::BuildCriticalPath;
 using dfil::report::CheckChromeTrace;
 using dfil::report::CheckCritpathGate;
 using dfil::report::CheckGate;
+using dfil::report::CliOptions;
 using dfil::report::CriticalPath;
 using dfil::report::ExtractFlows;
 using dfil::report::FlightDump;
 using dfil::report::GateResult;
+using dfil::report::kExitCheckFailed;
+using dfil::report::kExitIo;
+using dfil::report::kExitOk;
+using dfil::report::kExitUsage;
 using dfil::report::LoadRun;
+using dfil::report::ParseCliOptions;
 using dfil::report::ParseFlight;
 using dfil::report::RunSummary;
 using dfil::report::TraceCheck;
-
-constexpr int kExitOk = 0;
-constexpr int kExitCheckFailed = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitIo = 3;
 
 int Usage() {
   std::fprintf(
@@ -73,7 +74,11 @@ int Usage() {
       "  --top N          rows/hops to print (default 10)\n"
       "  --check FILE     critpath only: gate against a dfil-critpath-gate-v1 baseline\n"
       "\n"
-      "exit codes: 0 ok, 1 gate/check failure, 2 usage error, 3 unreadable/unparseable input\n");
+      "exit codes (shared contract with dfil_diff — scripts may rely on it):\n"
+      "  0 ok, 1 gate/check failure, 2 usage error, 3 unreadable/unparseable input\n"
+      "\n"
+      "see also: dfil_diff — A/B attribution between two runs, gate-failure explanation\n"
+      "(--gate), and result history (--history); same exit codes\n");
   return kExitUsage;
 }
 
@@ -261,26 +266,22 @@ int main(int argc, char** argv) {
     return kExitOk;
   }
   // Flags may appear anywhere after the command; everything else is an input file, in order.
-  size_t top_n = 10;
-  std::string check_baseline;
-  std::vector<std::string> paths;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--top" && i + 1 < argc) {
-      top_n = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg.rfind("--top=", 0) == 0) {
-      top_n = static_cast<size_t>(std::strtoul(arg.c_str() + 6, nullptr, 10));
-    } else if (arg == "--check" && i + 1 < argc) {
-      check_baseline = argv[++i];
-    } else if (arg.rfind("--check=", 0) == 0) {
-      check_baseline = arg.substr(8);
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "dfil_report: unrecognized flag '%s'\n", arg.c_str());
-      return Usage();
-    } else {
-      paths.push_back(arg);
-    }
+  // The flag vocabulary is the shared report::ParseCliOptions one, restricted to the flags this
+  // tool documents — dfil_diff's --gate/--history/--force are rejected with a pointer there.
+  const CliOptions opt = ParseCliOptions(argc, argv, 2);
+  if (!opt.error.empty()) {
+    std::fprintf(stderr, "dfil_report: unrecognized flag '%s'\n", opt.error.c_str());
+    return Usage();
   }
+  if (!opt.gate_baseline.empty() || !opt.history_path.empty() || opt.force) {
+    std::fprintf(stderr,
+                 "dfil_report: --gate/--history/--force belong to dfil_diff (the gate command "
+                 "here takes the baseline as its first operand)\n");
+    return Usage();
+  }
+  const size_t top_n = opt.top_n;
+  const std::string& check_baseline = opt.check_baseline;
+  const std::vector<std::string>& paths = opt.paths;
   if (cmd == "report" || cmd == "figure10" || cmd == "figure9" || cmd == "hot") {
     return CmdMetrics(cmd, paths, top_n);
   }

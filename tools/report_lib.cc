@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -140,13 +141,49 @@ HistSummary ParseHistogram(const json::Value& h) {
   out.max = h.GetNumber("max");
   if (const json::Value* buckets = h.Get("buckets"); buckets != nullptr && buckets->is_array()) {
     for (const auto& b : buckets->array) {
-      if (b->is_array() && b->array.size() == 3) {
+      if (b->is_array() && b->array.size() == 3 && b->array[0]->is_number() &&
+          b->array[1]->is_number() && b->array[2]->is_number()) {
         out.buckets.push_back(
             {b->array[0]->number, b->array[1]->number, b->array[2]->number});
       }
     }
   }
   return out;
+}
+
+PoolRow ParsePoolRow(const json::Value& v) {
+  PoolRow r;
+  r.pool = static_cast<int>(v.GetNumber("pool", -1));
+  r.fn = static_cast<int>(v.GetNumber("fn", -1));
+  r.run_us = v.GetNumber("run_us");
+  r.blocked_us = v.GetNumber("blocked_us");
+  r.serve_us = v.GetNumber("serve_us");
+  r.faults = static_cast<uint64_t>(std::llround(v.GetNumber("faults")));
+  r.filaments_run = static_cast<uint64_t>(std::llround(v.GetNumber("filaments_run")));
+  r.migrated_in = static_cast<uint64_t>(std::llround(v.GetNumber("migrated_in")));
+  return r;
+}
+
+// Requires `key` to exist on `obj` with the named JSON type; false + *error otherwise. The
+// contract ParseRun enforces: the structural skeleton of a metrics document must be present and
+// well-typed, so a truncated or hand-damaged file is rejected with a field-level message instead
+// of silently parsing to a zeroed summary the downstream gates would happily "pass".
+bool RequireField(const json::Value& obj, const std::string& where, const std::string& key,
+                  json::Type type, std::string* error) {
+  const json::Value* v = obj.Get(key);
+  const char* want = type == json::Type::kString ? "string"
+                     : type == json::Type::kNumber ? "number"
+                     : type == json::Type::kArray ? "array"
+                                                  : "object";
+  if (v == nullptr) {
+    *error = where + ": missing required " + want + " field \"" + key + "\"";
+    return false;
+  }
+  if (v->type != type) {
+    *error = where + ": field \"" + key + "\" is not a " + want;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -159,10 +196,27 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
     return false;
   }
   const json::Value& root = *parsed.value;
+  if (!root.is_object()) {
+    *error = "root is not a JSON object";
+    return false;
+  }
+  if (!RequireField(root, "root", "schema", json::Type::kString, error)) {
+    return false;
+  }
   const std::string schema = root.GetString("schema");
   if (schema != "dfil-metrics-v1" && schema != "dfil-metrics-v2") {
     *error = "not a dfil-metrics-v1/v2 document (schema=\"" + schema + "\")";
     return false;
+  }
+  for (const char* key : {"label", "pcp"}) {
+    if (!RequireField(root, "root", key, json::Type::kString, error)) {
+      return false;
+    }
+  }
+  for (const char* key : {"nodes", "completed", "makespan_us"}) {
+    if (!RequireField(root, "root", key, json::Type::kNumber, error)) {
+      return false;
+    }
   }
   out->schema_version = schema == "dfil-metrics-v2" ? 2 : 1;
   out->label = root.GetString("label");
@@ -170,8 +224,10 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
   out->nodes = static_cast<int>(root.GetNumber("nodes"));
   out->completed = root.GetNumber("completed") != 0;
   out->makespan_us = root.GetNumber("makespan_us");
+  out->fingerprint = Fingerprint{};
   out->provenance.clear();
   out->cluster_counters.clear();
+  out->pools_by_fn.clear();
   out->per_node.clear();
   if (const json::Value* prov = root.Get("provenance"); prov != nullptr && prov->is_object()) {
     for (const auto& [key, value] : prov->object) {
@@ -180,15 +236,52 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
       }
     }
   }
-  if (const json::Value* cluster = root.Get("cluster"); cluster != nullptr) {
-    ParseCounters(cluster->Get("counters"), &out->cluster_counters);
+  if (const json::Value* fp = root.Get("fingerprint"); fp != nullptr && fp->is_object()) {
+    out->fingerprint.config = fp->GetString("config");
+    out->fingerprint.git = fp->GetString("git");
+    out->fingerprint.seed = fp->GetString("seed");
+    out->fingerprint.app = fp->GetString("app");
+  } else {
+    // Pre-fingerprint v2 files: recover what the provenance block carries so diffing old
+    // artifacts still checks what it can.
+    auto prov_or = [out](const char* key) {
+      auto it = out->provenance.find(key);
+      return it == out->provenance.end() ? std::string() : it->second;
+    };
+    out->fingerprint.config = prov_or("config_digest");
+    out->fingerprint.git = prov_or("git");
+    out->fingerprint.seed = prov_or("seed");
+    out->fingerprint.app = prov_or("app");
   }
-  const json::Value* per_node = root.Get("per_node");
-  if (per_node == nullptr || !per_node->is_array()) {
-    *error = "missing per_node array";
+  if (const json::Value* cluster = root.Get("cluster"); cluster != nullptr) {
+    if (!cluster->is_object()) {
+      *error = "root: field \"cluster\" is not an object";
+      return false;
+    }
+    ParseCounters(cluster->Get("counters"), &out->cluster_counters);
+    if (const json::Value* by_fn = cluster->Get("pools_by_fn");
+        by_fn != nullptr && by_fn->is_array()) {
+      for (const auto& row : by_fn->array) {
+        if (row->is_object()) {
+          out->pools_by_fn.push_back(ParsePoolRow(*row));
+        }
+      }
+    }
+  }
+  if (!RequireField(root, "root", "per_node", json::Type::kArray, error)) {
     return false;
   }
-  for (const auto& n : per_node->array) {
+  const json::Value* per_node = root.Get("per_node");
+  for (size_t i = 0; i < per_node->array.size(); ++i) {
+    const json::ValuePtr& n = per_node->array[i];
+    const std::string where = "per_node[" + std::to_string(i) + "]";
+    if (!n->is_object()) {
+      *error = where + ": not an object";
+      return false;
+    }
+    if (!RequireField(*n, where, "node", json::Type::kNumber, error)) {
+      return false;
+    }
     RunSummary::Node node;
     node.node = static_cast<int>(n->GetNumber("node"));
     node.finished_at_us = n->GetNumber("finished_at_us");
@@ -197,16 +290,27 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
     node.serve_us = n->GetNumber("serve_us");
     if (const json::Value* t = n->Get("time_us"); t != nullptr && t->is_object()) {
       for (const auto& [key, value] : t->object) {
-        node.time_us[key] = value->number;
+        if (value->is_number()) {
+          node.time_us[key] = value->number;
+        }
       }
     }
     if (const json::Value* w = n->Get("wait_us"); w != nullptr && w->is_object()) {
       for (const auto& [key, value] : w->object) {
-        node.wait_us[key] = value->number;
+        if (value->is_number()) {
+          node.wait_us[key] = value->number;
+        }
       }
     }
     if (const json::Value* w = n->Get("wait_events"); w != nullptr && w->is_object()) {
       ParseCounters(w, &node.wait_events);
+    }
+    if (const json::Value* pools = n->Get("pools"); pools != nullptr && pools->is_array()) {
+      for (const auto& row : pools->array) {
+        if (row->is_object()) {
+          node.pools.push_back(ParsePoolRow(*row));
+        }
+      }
     }
     if (const json::Value* es = n->Get("epochs"); es != nullptr && es->is_array()) {
       for (const auto& row : es->array) {
@@ -215,23 +319,28 @@ bool ParseRun(const std::string& text, RunSummary* out, std::string* error) {
         }
         std::map<std::string, double> cols;
         for (const auto& [key, value] : row->object) {
-          cols[key] = value->number;
+          if (value->is_number()) {
+            cols[key] = value->number;
+          }
         }
         node.epochs.push_back(std::move(cols));
       }
     }
-    if (const json::Value* m = n->Get("metrics"); m != nullptr) {
+    if (const json::Value* m = n->Get("metrics"); m != nullptr && m->is_object()) {
       ParseCounters(m->Get("counters"), &node.counters);
       if (const json::Value* hists = m->Get("histograms");
           hists != nullptr && hists->is_object()) {
         for (const auto& [key, value] : hists->object) {
-          node.histograms[key] = ParseHistogram(*value);
+          if (value->is_object()) {
+            node.histograms[key] = ParseHistogram(*value);
+          }
         }
       }
     }
     if (const json::Value* heat = n->Get("page_heat"); heat != nullptr && heat->is_array()) {
       for (const auto& pair : heat->array) {
-        if (pair->is_array() && pair->array.size() == 2) {
+        if (pair->is_array() && pair->array.size() == 2 && pair->array[0]->is_number() &&
+            pair->array[1]->is_number()) {
           node.page_heat.emplace_back(static_cast<uint64_t>(pair->array[0]->number),
                                       static_cast<uint64_t>(pair->array[1]->number));
         }
@@ -1119,6 +1228,609 @@ GateResult CheckCritpathGate(const std::string& baseline_text, const CriticalPat
     }
   }
   return out;
+}
+
+// ---- Shared CLI parsing --------------------------------------------------------------------
+
+CliOptions ParseCliOptions(int argc, char** argv, int first) {
+  CliOptions opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // "--flag VALUE" and "--flag=VALUE" are both accepted; a trailing valueless "--flag" is a
+    // usage error (reported through opt.error, never a silent default).
+    auto value_of = [&](const char* flag, std::string* value) {
+      const std::string name(flag);
+      if (arg == name) {
+        if (i + 1 >= argc) {
+          opt.error = arg + " (missing value)";
+          return true;
+        }
+        *value = argv[++i];
+        return true;
+      }
+      if (arg.rfind(name + "=", 0) == 0) {
+        *value = arg.substr(name.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    std::string top_value;
+    if (value_of("--top", &top_value)) {
+      if (!opt.error.empty()) {
+        break;
+      }
+      opt.top_n = static_cast<size_t>(std::strtoul(top_value.c_str(), nullptr, 10));
+    } else if (value_of("--check", &opt.check_baseline) ||
+               value_of("--gate", &opt.gate_baseline) ||
+               value_of("--history", &opt.history_path)) {
+      if (!opt.error.empty()) {
+        break;
+      }
+    } else if (arg == "--force") {
+      opt.force = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      opt.error = arg;
+      break;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  return opt;
+}
+
+// ---- Run diffing (tools/dfil_diff) ---------------------------------------------------------
+
+double Delta::rel() const {
+  return (b - a) / std::max(std::abs(a), 1.0);
+}
+
+namespace {
+
+std::string ProvenanceOr(const RunSummary& run, const std::string& key) {
+  auto it = run.provenance.find(key);
+  return it == run.provenance.end() ? std::string() : it->second;
+}
+
+void AddDelta(std::vector<Delta>* out, std::string name, double a, double b) {
+  if (a == b) {
+    return;
+  }
+  out->push_back(Delta{std::move(name), a, b});
+}
+
+void RankDeltas(std::vector<Delta>* deltas) {
+  std::sort(deltas->begin(), deltas->end(), [](const Delta& x, const Delta& y) {
+    const double rx = std::abs(x.rel());
+    const double ry = std::abs(y.rel());
+    if (rx != ry) {
+      return rx > ry;
+    }
+    const double dx = std::abs(x.diff());
+    const double dy = std::abs(y.diff());
+    return dx != dy ? dx > dy : x.name < y.name;
+  });
+}
+
+// Per-epoch rows summed across nodes: epoch key (the "epoch" column when present, else the row
+// index + 1) -> column -> cluster total.
+std::map<uint64_t, std::map<std::string, double>> EpochTotals(const RunSummary& run) {
+  std::map<uint64_t, std::map<std::string, double>> totals;
+  for (const RunSummary::Node& n : run.per_node) {
+    for (size_t i = 0; i < n.epochs.size(); ++i) {
+      const auto& row = n.epochs[i];
+      uint64_t epoch = i + 1;
+      if (auto it = row.find("epoch"); it != row.end()) {
+        epoch = static_cast<uint64_t>(it->second);
+      }
+      for (const auto& [col, value] : row) {
+        if (col != "epoch") {
+          totals[epoch][col] += value;
+        }
+      }
+    }
+  }
+  return totals;
+}
+
+std::map<uint64_t, uint64_t> PageHeatTotals(const RunSummary& run) {
+  std::map<uint64_t, uint64_t> heat;
+  for (const RunSummary::Node& n : run.per_node) {
+    for (const auto& [page, faults] : n.page_heat) {
+      heat[page] += faults;
+    }
+  }
+  return heat;
+}
+
+std::map<int, PoolRow> PoolsByFn(const RunSummary& run) {
+  std::map<int, PoolRow> by_fn;
+  for (const PoolRow& row : run.pools_by_fn) {
+    by_fn[row.fn] = row;
+  }
+  return by_fn;
+}
+
+std::string FnLabel(int fn) { return fn < 0 ? std::string("residual") : "fn" + std::to_string(fn); }
+
+}  // namespace
+
+FingerprintCheck CompareFingerprints(const RunSummary& a, const RunSummary& b) {
+  FingerprintCheck out;
+  // Hard mismatches: the runs execute different programs or a different memory shape, so no
+  // counter delta between them attributes anything. Empty fields (old files) are "unknown", not
+  // a mismatch.
+  auto hard = [&out](const char* what, const std::string& va, const std::string& vb) {
+    if (!va.empty() && !vb.empty() && va != vb) {
+      out.compatible = false;
+      out.mismatches.push_back(std::string(what) + ": " + va + " vs " + vb);
+    }
+  };
+  hard("app", a.fingerprint.app, b.fingerprint.app);
+  hard("page_shift", ProvenanceOr(a, "page_shift"), ProvenanceOr(b, "page_shift"));
+  if (a.nodes != b.nodes) {
+    out.compatible = false;
+    out.mismatches.push_back("nodes: " + std::to_string(a.nodes) + " vs " +
+                             std::to_string(b.nodes));
+  }
+  out.identical_config =
+      !a.fingerprint.config.empty() && a.fingerprint.config == b.fingerprint.config;
+  if (!out.identical_config) {
+    // The digest only says "something schedule-affecting differs"; the provenance block says
+    // what. cli.* keys record how the bench was invoked, not what ran — skip them.
+    std::set<std::string> keys;
+    for (const auto& [key, value] : a.provenance) {
+      keys.insert(key);
+    }
+    for (const auto& [key, value] : b.provenance) {
+      keys.insert(key);
+    }
+    for (const std::string& key : keys) {
+      if (key.rfind("cli.", 0) == 0 || key == "config_digest") {
+        continue;
+      }
+      const std::string va = ProvenanceOr(a, key);
+      const std::string vb = ProvenanceOr(b, key);
+      if (va != vb) {
+        out.config_notes.push_back(key + ": " + (va.empty() ? "(unset)" : va) + " -> " +
+                                   (vb.empty() ? "(unset)" : vb));
+      }
+    }
+  }
+  return out;
+}
+
+RunDiff DiffRuns(const RunSummary& a, const RunSummary& b) {
+  RunDiff d;
+  d.fingerprints = CompareFingerprints(a, b);
+  d.makespan = Delta{"makespan_us", a.makespan_us, b.makespan_us};
+
+  std::set<std::string> counter_names;
+  for (const auto& [name, value] : a.cluster_counters) {
+    counter_names.insert(name);
+  }
+  for (const auto& [name, value] : b.cluster_counters) {
+    counter_names.insert(name);
+  }
+  for (const std::string& name : counter_names) {
+    AddDelta(&d.counters, name, static_cast<double>(a.ClusterCounter(name)),
+             static_cast<double>(b.ClusterCounter(name)));
+  }
+
+  std::set<std::string> hist_names;
+  for (const RunSummary* run : {&a, &b}) {
+    for (const RunSummary::Node& n : run->per_node) {
+      for (const auto& [name, hist] : n.histograms) {
+        hist_names.insert(name);
+      }
+    }
+  }
+  for (const std::string& name : hist_names) {
+    const HistSummary ha = a.MergedHistogram(name);
+    const HistSummary hb = b.MergedHistogram(name);
+    AddDelta(&d.histograms, name + ".p50", ha.Percentile(50.0), hb.Percentile(50.0));
+    AddDelta(&d.histograms, name + ".p99", ha.Percentile(99.0), hb.Percentile(99.0));
+  }
+
+  const auto epochs_a = EpochTotals(a);
+  const auto epochs_b = EpochTotals(b);
+  std::set<uint64_t> epoch_keys;
+  for (const auto& [epoch, cols] : epochs_a) {
+    epoch_keys.insert(epoch);
+  }
+  for (const auto& [epoch, cols] : epochs_b) {
+    epoch_keys.insert(epoch);
+  }
+  for (const uint64_t epoch : epoch_keys) {
+    std::set<std::string> cols;
+    if (auto it = epochs_a.find(epoch); it != epochs_a.end()) {
+      for (const auto& [col, value] : it->second) {
+        cols.insert(col);
+      }
+    }
+    if (auto it = epochs_b.find(epoch); it != epochs_b.end()) {
+      for (const auto& [col, value] : it->second) {
+        cols.insert(col);
+      }
+    }
+    for (const std::string& col : cols) {
+      auto cell = [epoch, &col](const std::map<uint64_t, std::map<std::string, double>>& totals) {
+        auto it = totals.find(epoch);
+        if (it == totals.end()) {
+          return 0.0;
+        }
+        auto ct = it->second.find(col);
+        return ct == it->second.end() ? 0.0 : ct->second;
+      };
+      AddDelta(&d.epochs, "e" + std::to_string(epoch) + "." + col, cell(epochs_a),
+               cell(epochs_b));
+    }
+  }
+
+  const auto pools_a = PoolsByFn(a);
+  const auto pools_b = PoolsByFn(b);
+  std::set<int> fns;
+  for (const auto& [fn, row] : pools_a) {
+    fns.insert(fn);
+  }
+  for (const auto& [fn, row] : pools_b) {
+    fns.insert(fn);
+  }
+  for (const int fn : fns) {
+    const PoolRow ra = pools_a.count(fn) != 0 ? pools_a.at(fn) : PoolRow{};
+    const PoolRow rb = pools_b.count(fn) != 0 ? pools_b.at(fn) : PoolRow{};
+    const std::string prefix = FnLabel(fn) + ".";
+    AddDelta(&d.pools, prefix + "run_us", ra.run_us, rb.run_us);
+    AddDelta(&d.pools, prefix + "blocked_us", ra.blocked_us, rb.blocked_us);
+    AddDelta(&d.pools, prefix + "serve_us", ra.serve_us, rb.serve_us);
+    AddDelta(&d.pools, prefix + "faults", static_cast<double>(ra.faults),
+             static_cast<double>(rb.faults));
+    AddDelta(&d.pools, prefix + "filaments_run", static_cast<double>(ra.filaments_run),
+             static_cast<double>(rb.filaments_run));
+    AddDelta(&d.pools, prefix + "migrated_in", static_cast<double>(ra.migrated_in),
+             static_cast<double>(rb.migrated_in));
+  }
+
+  const auto heat_a = PageHeatTotals(a);
+  const auto heat_b = PageHeatTotals(b);
+  std::set<uint64_t> pages;
+  for (const auto& [page, faults] : heat_a) {
+    pages.insert(page);
+  }
+  for (const auto& [page, faults] : heat_b) {
+    pages.insert(page);
+  }
+  for (const uint64_t page : pages) {
+    const auto fa = heat_a.count(page) != 0 ? heat_a.at(page) : 0;
+    const auto fb = heat_b.count(page) != 0 ? heat_b.at(page) : 0;
+    AddDelta(&d.pages, "page " + std::to_string(page), static_cast<double>(fa),
+             static_cast<double>(fb));
+  }
+
+  RankDeltas(&d.counters);
+  RankDeltas(&d.histograms);
+  RankDeltas(&d.epochs);
+  RankDeltas(&d.pools);
+  RankDeltas(&d.pages);
+  return d;
+}
+
+namespace {
+
+std::string DeltaNumber(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+std::string RelPct(const Delta& d) {
+  // Appearing / vanishing quantities would print as absurd percentages of the +/-1 floor;
+  // name the situation instead.
+  if (d.a == 0.0 && d.b != 0.0) {
+    return "(new)";
+  }
+  if (d.b == 0.0 && d.a != 0.0) {
+    return "(gone)";
+  }
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(1) << 100.0 * d.rel() << "%";
+  return os.str();
+}
+
+void PrintDeltaTable(const char* title, const std::vector<Delta>& deltas, size_t top_n,
+                     std::ostream& os) {
+  if (deltas.empty()) {
+    return;
+  }
+  os << title << " (" << deltas.size() << " changed)\n";
+  os << std::left << std::setw(34) << "  name" << std::right << std::setw(16) << "A"
+     << std::setw(16) << "B" << std::setw(16) << "delta" << std::setw(10) << "rel" << "\n";
+  for (size_t i = 0; i < deltas.size() && i < top_n; ++i) {
+    const Delta& d = deltas[i];
+    os << std::left << std::setw(34) << ("  " + d.name) << std::right << std::setw(16)
+       << DeltaNumber(d.a) << std::setw(16) << DeltaNumber(d.b) << std::setw(16)
+       << DeltaNumber(d.diff()) << std::setw(10) << RelPct(d) << "\n";
+  }
+  if (deltas.size() > top_n) {
+    os << "  ... " << deltas.size() - top_n << " more (raise --top)\n";
+  }
+}
+
+}  // namespace
+
+void PrintRunDiff(const RunDiff& diff, const RunSummary& a, const RunSummary& b, size_t top_n,
+                  std::ostream& os) {
+  os << "Run diff: A=" << a.label << " (" << a.pcp << ") vs B=" << b.label << " (" << b.pcp
+     << ")\n";
+  const FingerprintCheck& fp = diff.fingerprints;
+  if (!fp.compatible) {
+    os << "fingerprints: INCOMPATIBLE — the runs execute different programs:\n";
+    for (const std::string& m : fp.mismatches) {
+      os << "  ! " << m << "\n";
+    }
+  } else if (fp.identical_config) {
+    os << "fingerprints: identical config (digest " << a.fingerprint.config
+       << ") — any delta below is noise or a code change";
+    if (!a.fingerprint.git.empty() && a.fingerprint.git != b.fingerprint.git) {
+      os << " (git " << a.fingerprint.git << " -> " << b.fingerprint.git << ")";
+    }
+    os << "\n";
+  } else {
+    os << "fingerprints: comparable A/B (app " << (a.fingerprint.app.empty() ? "?" : a.fingerprint.app)
+       << ", " << a.nodes << " nodes); config differs:\n";
+    for (const std::string& note : fp.config_notes) {
+      os << "  ~ " << note << "\n";
+    }
+    if (fp.config_notes.empty()) {
+      os << "  ~ (digest differs but no provenance key does — a knob outside provenance moved)\n";
+    }
+  }
+  {
+    std::ostringstream line;
+    line << "makespan_us: " << DeltaNumber(diff.makespan.a) << " -> "
+         << DeltaNumber(diff.makespan.b);
+    if (diff.makespan.diff() != 0.0) {
+      line << " (" << RelPct(diff.makespan) << ")";
+    }
+    os << line.str() << "\n\n";
+  }
+  PrintDeltaTable("Counter deltas", diff.counters, top_n, os);
+  PrintDeltaTable("Histogram percentile deltas", diff.histograms, top_n, os);
+  PrintDeltaTable("Per-pool deltas (by filament fn)", diff.pools, top_n, os);
+  PrintDeltaTable("Per-epoch deltas (cluster totals)", diff.epochs, top_n, os);
+  PrintDeltaTable("Page-heat deltas (demand faults)", diff.pages, top_n, os);
+}
+
+std::vector<Delta> DiffBlame(const CriticalPath& a, const CriticalPath& b) {
+  std::map<std::string, Delta> joined;
+  for (const BlameRow& row : BlamePath(a)) {
+    Delta& d = joined[row.label];
+    d.name = row.label;
+    d.a = row.us;
+  }
+  for (const BlameRow& row : BlamePath(b)) {
+    Delta& d = joined[row.label];
+    d.name = row.label;
+    d.b = row.us;
+  }
+  std::vector<Delta> out;
+  for (auto& [label, d] : joined) {
+    if (d.a != d.b) {
+      out.push_back(std::move(d));
+    }
+  }
+  RankDeltas(&out);
+  return out;
+}
+
+void PrintBlameDiff(const std::vector<Delta>& deltas, size_t top_n, std::ostream& os) {
+  if (deltas.empty()) {
+    os << "Critical-path blame: identical between the two traces\n";
+    return;
+  }
+  PrintDeltaTable("Critical-path blame deltas (us on the path)", deltas, top_n, os);
+}
+
+// ---- Gate explanation (dfil_diff --gate) ---------------------------------------------------
+
+namespace {
+
+// Where a failing counter lives: the per-node split, the hottest pages for DSM counters, and
+// the epochs carrying the matching per-epoch column when the series records one.
+void ExplainCounter(const RunSummary& run, const std::string& counter, size_t top_n,
+                    std::ostream& os) {
+  os << "  " << run.label << " " << counter << ":\n";
+  os << "    per-node:";
+  for (const RunSummary::Node& n : run.per_node) {
+    std::ostringstream cell;
+    if (counter == "makespan_us") {
+      cell << FormatUs(n.finished_at_us);
+    } else {
+      auto it = n.counters.find(counter);
+      cell << (it == n.counters.end() ? 0 : it->second);
+    }
+    os << " n" << n.node << "=" << cell.str();
+  }
+  os << "\n";
+  if (counter.rfind("dsm.", 0) == 0) {
+    const auto heat = PageHeatTotals(run);
+    std::vector<std::pair<uint64_t, uint64_t>> ranked(heat.begin(), heat.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+      return x.second != y.second ? x.second > y.second : x.first < y.first;
+    });
+    if (!ranked.empty()) {
+      os << "    hottest pages:";
+      for (size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+        os << " p" << ranked[i].first << "=" << ranked[i].second;
+      }
+      os << "\n";
+    }
+  }
+  // The per-epoch series names columns without the layer prefix ("faults", not
+  // "dsm.read_faults"); try the counter's suffix, then the generic fault column.
+  std::string col = counter.substr(counter.rfind('.') + 1);
+  const auto epochs = EpochTotals(run);
+  auto has_col = [&epochs](const std::string& name) {
+    for (const auto& [epoch, cols] : epochs) {
+      if (cols.count(name) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!has_col(col) && counter.find("fault") != std::string::npos && has_col("faults")) {
+    col = "faults";
+  }
+  if (has_col(col)) {
+    std::vector<std::pair<uint64_t, double>> by_epoch;
+    for (const auto& [epoch, cols] : epochs) {
+      if (auto it = cols.find(col); it != cols.end() && it->second != 0.0) {
+        by_epoch.emplace_back(epoch, it->second);
+      }
+    }
+    std::sort(by_epoch.begin(), by_epoch.end(), [](const auto& x, const auto& y) {
+      return x.second != y.second ? x.second > y.second : x.first < y.first;
+    });
+    if (!by_epoch.empty()) {
+      os << "    top epochs by " << col << ":";
+      for (size_t i = 0; i < by_epoch.size() && i < top_n; ++i) {
+        os << " e" << by_epoch[i].first << "=" << DeltaNumber(by_epoch[i].second);
+      }
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+GateResult ExplainGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
+                       size_t top_n, std::ostream& os, std::string* error) {
+  GateResult gate = CheckGate(baseline_text, runs, error);
+  if (!error->empty()) {
+    return gate;
+  }
+  for (const std::string& line : gate.lines) {
+    os << line << "\n";
+  }
+  if (gate.ok) {
+    return gate;
+  }
+  // Re-walk the baseline for the failing (label, counter) pairs; CheckGate just validated it.
+  json::ParseResult parsed = json::Parse(baseline_text);
+  const json::Value& root = *parsed.value;
+  const double tolerance = root.GetNumber("tolerance", 0.10);
+  const json::Value* baseline_runs = root.Get("runs");
+  os << "\nWhere the drift lives:\n";
+  for (const auto& [label, expectations] : baseline_runs->object) {
+    if (!expectations->is_object()) {
+      continue;
+    }
+    const RunSummary* run = nullptr;
+    for (const RunSummary& candidate : runs) {
+      if (candidate.label == label) {
+        run = &candidate;
+        break;
+      }
+    }
+    if (run == nullptr) {
+      os << "  " << label << ": no metrics file with this label was supplied — check the CI\n"
+         << "  step's file list against the baseline's run labels\n";
+      continue;
+    }
+    for (const auto& [counter, expected_value] : expectations->object) {
+      if (!expected_value->is_number()) {
+        continue;
+      }
+      const double expected = expected_value->number;
+      const auto actual = static_cast<double>(run->ClusterCounter(counter));
+      if (std::abs(actual - expected) / std::max(expected, 1.0) > tolerance) {
+        ExplainCounter(*run, counter, top_n, os);
+      }
+    }
+  }
+  return gate;
+}
+
+// ---- Result history (bench/HISTORY.jsonl) --------------------------------------------------
+
+std::string HistoryLine(const RunSummary& run) {
+  std::ostringstream os;
+  os << "{\"kind\": \"metrics\", \"label\": \"" << run.label << "\", \"app\": \""
+     << run.fingerprint.app << "\", \"config\": \"" << run.fingerprint.config << "\", \"git\": \""
+     << run.fingerprint.git << "\", \"seed\": \"" << run.fingerprint.seed
+     << "\", \"nodes\": " << run.nodes << ", \"pcp\": \"" << run.pcp
+     << "\", \"completed\": " << (run.completed ? 1 : 0)
+     << ", \"makespan_us\": " << DeltaNumber(run.makespan_us) << ", \"counters\": {";
+  bool first = true;
+  for (const char* counter : kFigure9Counters) {
+    const uint64_t value = run.ClusterCounter(counter);
+    if (value == 0) {
+      continue;
+    }
+    os << (first ? "" : ", ") << "\"" << counter << "\": " << value;
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool BenchHistoryLine(const std::string& bench_json_text, std::string* line, std::string* error) {
+  json::ParseResult parsed = json::Parse(bench_json_text);
+  if (!parsed.ok()) {
+    *error = "JSON parse error at byte " + std::to_string(parsed.error_offset) + ": " +
+             parsed.error;
+    return false;
+  }
+  const json::Value& root = *parsed.value;
+  if (!root.is_object() || root.Get("bench") == nullptr || !root.Get("bench")->is_string()) {
+    *error = "not a BENCH_*.json report (no \"bench\" string field)";
+    return false;
+  }
+  std::ostringstream os;
+  os << "{\"kind\": \"bench\", \"bench\": \"" << root.GetString("bench") << "\"";
+  size_t rows = 0;
+  for (const auto& [key, value] : root.object) {
+    if (value->is_number()) {
+      os << ", \"" << key << "\": " << DeltaNumber(value->number);
+    } else if (key == "rows" && value->is_array()) {
+      rows = value->array.size();
+    }
+  }
+  os << ", \"rows\": " << rows << "}";
+  *line = os.str();
+  return true;
+}
+
+bool AppendHistory(const std::string& path, const std::vector<std::string>& lines,
+                   size_t* appended, std::string* error) {
+  *appended = 0;
+  std::set<std::string> existing;
+  {
+    std::ifstream in(path);  // absent file = empty history, created below
+    std::string line;
+    while (std::getline(in, line)) {
+      existing.insert(line);
+    }
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    *error = path + ": cannot open for append";
+    return false;
+  }
+  for (const std::string& line : lines) {
+    if (existing.insert(line).second) {
+      out << line << "\n";
+      ++*appended;
+    }
+  }
+  if (!out) {
+    *error = path + ": write failed";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dfil::report

@@ -22,6 +22,32 @@
 
 namespace dfil::report {
 
+// ---- Shared CLI contract -------------------------------------------------------------------
+
+// Exit-code contract shared by every analysis CLI (dfil_report, dfil_diff). Scripts and CI steps
+// key off these values, so they are part of the tools' public interface:
+//   0  success
+//   1  a gate or check failed (counter drift, malformed trace, incompatible fingerprints)
+//   2  usage error (unknown command, missing operands, bad flag)
+//   3  an input could not be read or parsed
+constexpr int kExitOk = 0;
+constexpr int kExitCheckFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
+// The position-independent flag vocabulary shared by dfil_report and dfil_diff. Each tool uses
+// the subset it documents; unknown "--flags" set `error` and the caller prints usage (exit 2).
+struct CliOptions {
+  size_t top_n = 10;           // --top N / --top=N
+  std::string check_baseline;  // --check FILE   (dfil_report critpath)
+  std::string gate_baseline;   // --gate FILE    (dfil_diff gate-explain mode)
+  std::string history_path;    // --history FILE (dfil_diff history-append mode)
+  bool force = false;          // --force        (dfil_diff: diff despite incompatible runs)
+  std::vector<std::string> paths;  // bare operands, in order
+  std::string error;           // non-empty = malformed/unknown flag (the offending token)
+};
+CliOptions ParseCliOptions(int argc, char** argv, int first);
+
 // One histogram as exported by MetricsRegistry::WriteJson, buckets included so histograms from
 // different nodes can be merged before computing cluster-wide percentiles.
 struct HistSummary {
@@ -37,8 +63,34 @@ struct HistSummary {
   double Percentile(double p) const;
 };
 
+// The run fingerprint stamped into every dfil-metrics-v2 document (src/core/metrics_io.h):
+// "config" is ClusterConfig::DigestHex() over every schedule-affecting knob, "git" the build's
+// commit, "seed" the cluster RNG seed, "app" the program identity. Empty fields = a v1 or
+// pre-fingerprint file.
+struct Fingerprint {
+  std::string config;
+  std::string git;
+  std::string seed;
+  std::string app;
+
+  bool empty() const { return config.empty() && git.empty() && seed.empty() && app.empty(); }
+};
+
+// One row of the per-pool profiling section ("pools" per node, "pools_by_fn" cluster-wide).
+// pool/fn -1 is the residual: run time outside any pool plus all handler serve time.
+struct PoolRow {
+  int pool = -1;
+  int fn = -1;
+  double run_us = 0.0;
+  double blocked_us = 0.0;
+  double serve_us = 0.0;
+  uint64_t faults = 0;
+  uint64_t filaments_run = 0;
+  uint64_t migrated_in = 0;
+};
+
 // A parsed dfil-metrics-v1 or -v2 document. v2-only fields (provenance, the wait-state ledgers,
-// final_clock_us, epochs) stay zero/empty when a v1 file is loaded.
+// final_clock_us, epochs, fingerprint, pools) stay zero/empty when a v1 file is loaded.
 struct RunSummary {
   std::string path;   // file it was loaded from (diagnostics)
   std::string label;
@@ -47,8 +99,10 @@ struct RunSummary {
   int nodes = 0;
   bool completed = false;
   double makespan_us = 0.0;
+  Fingerprint fingerprint;
   std::map<std::string, std::string> provenance;
   std::map<std::string, uint64_t> cluster_counters;
+  std::vector<PoolRow> pools_by_fn;  // cluster-wide per-filament-fn rollup (keyed on .fn)
 
   struct Node {
     int node = 0;
@@ -59,6 +113,7 @@ struct RunSummary {
     double serve_us = 0.0;                            //   run + serve + sum(wait_us) ==
     std::map<std::string, double> wait_us;            //   final_clock_us
     std::map<std::string, uint64_t> wait_events;      // blocked-interval counts by kind
+    std::vector<PoolRow> pools;                       // per-pool ledgers (keyed on .pool)
     std::vector<std::map<std::string, double>> epochs;  // per-sync-point time series rows
     std::map<std::string, uint64_t> counters;
     std::map<std::string, HistSummary> histograms;
@@ -234,6 +289,74 @@ GateResult CheckGate(const std::string& baseline_text, const std::vector<RunSumm
 // points of completion time) is within tolerance_pp of its expectation.
 GateResult CheckCritpathGate(const std::string& baseline_text, const CriticalPath& path,
                              std::string* error);
+
+// ---- Run diffing (tools/dfil_diff) ---------------------------------------------------------
+
+// Fingerprint comparability verdict for an A/B pair. Hard mismatches (different app, node count,
+// or page size) make the runs structurally incomparable — diffing them answers no question;
+// dfil_diff refuses unless --force. Config-digest differences with matching shape are the normal
+// deliberate-A/B case; `config_notes` lists exactly which provenance knobs moved.
+struct FingerprintCheck {
+  bool compatible = true;        // no hard mismatch
+  bool identical_config = false; // equal non-empty config digests: same schedule-affecting config
+  std::vector<std::string> mismatches;    // hard mismatches, human-readable
+  std::vector<std::string> config_notes;  // provenance keys that differ ("pcp: wi -> diff")
+};
+FingerprintCheck CompareFingerprints(const RunSummary& a, const RunSummary& b);
+
+// One compared quantity: counter, merged-histogram percentile, per-epoch series cell, or
+// per-pool ledger field. Named "<what>", values from run A and run B.
+struct Delta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+
+  double diff() const { return b - a; }
+  // Relative change with a +/-1 floor on the base, mirroring the gate's drift metric.
+  double rel() const;
+};
+
+// The full A-vs-B attribution report. Every section is ranked by |rel| then |diff|, largest
+// movement first; unchanged quantities are omitted.
+struct RunDiff {
+  FingerprintCheck fingerprints;
+  Delta makespan;                      // "makespan_us"
+  std::vector<Delta> counters;         // cluster counters
+  std::vector<Delta> histograms;       // "<hist>.p50" / "<hist>.p99" over merged histograms
+  std::vector<Delta> epochs;           // "e<K>.<col>" over per-epoch rows summed across nodes
+  std::vector<Delta> pools;            // "fn<F>.<field>" over the cluster pools_by_fn rollup
+  std::vector<Delta> pages;            // "page <P>" demand-fault heat summed across nodes
+};
+RunDiff DiffRuns(const RunSummary& a, const RunSummary& b);
+void PrintRunDiff(const RunDiff& diff, const RunSummary& a, const RunSummary& b, size_t top_n,
+                  std::ostream& os);
+
+// Critical-path blame tables of two traces, joined by cause label and ranked like RunDiff
+// sections. Causes present in only one run appear with 0 on the other side.
+std::vector<Delta> DiffBlame(const CriticalPath& a, const CriticalPath& b);
+void PrintBlameDiff(const std::vector<Delta>& deltas, size_t top_n, std::ostream& os);
+
+// Gate-explain (dfil_diff --gate): runs CheckGate, and for every failing counter prints where
+// the drift lives in the supplied runs — per-node breakdown, the hottest pages for dsm.*
+// counters, and the epochs contributing most when the per-epoch series carries the counter.
+// Returns the underlying GateResult; *error as in CheckGate.
+GateResult ExplainGate(const std::string& baseline_text, const std::vector<RunSummary>& runs,
+                       size_t top_n, std::ostream& os, std::string* error);
+
+// ---- Result history (bench/HISTORY.jsonl) --------------------------------------------------
+
+// One-line JSON summaries of result artifacts, appended by `dfil_diff --history`. METRICS files
+// yield {"kind": "metrics", "label", "app", "config", "git", "seed", "nodes", "pcp",
+// "makespan_us", "counters": {<the Figure 9 counters that are non-zero>}}; BENCH files yield
+// {"kind": "bench", "bench", <the report's scalar fields>}. Lines carry no wall-clock timestamp
+// on purpose — identical results produce identical lines, so re-running --history is idempotent
+// (exact-duplicate lines are skipped on append).
+std::string HistoryLine(const RunSummary& run);
+bool BenchHistoryLine(const std::string& bench_json_text, std::string* line, std::string* error);
+// Appends each line not already present verbatim in `path` (file created when absent);
+// *appended = how many were new. False + *error on I/O failure.
+bool AppendHistory(const std::string& path, const std::vector<std::string>& lines,
+                   size_t* appended, std::string* error);
 
 }  // namespace dfil::report
 
